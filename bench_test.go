@@ -1,0 +1,243 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its experiment via
+// internal/experiments (the same code `calculon study …` runs) and reports
+// the headline quantities as custom metrics, so `go test -bench=.` prints
+// the reproduced numbers next to the timings. The benches run the reduced
+// (ScaleSmall) studies; the paper-sized sweeps are `calculon study <x> -full`.
+package calculon_test
+
+import (
+	"testing"
+
+	"calculon/internal/experiments"
+)
+
+// BenchmarkTable2Validation regenerates Table 2: predicted batch times
+// versus the published Selene measurements for Megatron 22B/175B/530B/1T
+// under full recompute and seq-par + selective recompute.
+func BenchmarkTable2Validation(b *testing.B) {
+	var avg, max float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2Validation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg, max = experiments.ValidationStats(rows)
+	}
+	b.ReportMetric(avg, "avg-err-%")
+	b.ReportMetric(max, "max-err-%")
+}
+
+// BenchmarkFig3Breakdown regenerates Fig. 3: the single-configuration time
+// and HBM breakdown for GPT-3 175B at (8,64,8) on 4,096 A100s.
+func BenchmarkFig3Breakdown(b *testing.B) {
+	var recompFrac, hbmGiB float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3Breakdown()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recompFrac = float64(r.Time.Recompute) / float64(r.BatchTime)
+		hbmGiB = float64(r.Mem1.Total()) / (1 << 30)
+	}
+	b.ReportMetric(100*recompFrac, "recompute-%")
+	b.ReportMetric(hbmGiB, "HBM-GiB")
+}
+
+// BenchmarkTable1Ablation regenerates Table 1: the per-optimization effect
+// directions on time, memory, and network exposure.
+func BenchmarkTable1Ablation(b *testing.B) {
+	n := 0
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(rows)
+	}
+	b.ReportMetric(float64(n), "optimizations")
+}
+
+// BenchmarkFig4Parallelism regenerates Fig. 4: the TP/PP/DP trade-off
+// sweeps for Megatron-1T on 4,096 GPUs.
+func BenchmarkFig4Parallelism(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		sweeps, err := experiments.Fig4Parallelism()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := 1e18, 0.0
+		for _, sw := range sweeps {
+			for _, c := range sw.Cells {
+				t := float64(c.Result.BatchTime)
+				if t < lo {
+					lo = t
+				}
+				if t > hi {
+					hi = t
+				}
+			}
+		}
+		spread = hi / lo
+	}
+	b.ReportMetric(spread, "worst/best")
+}
+
+// BenchmarkFig5OptimizationGrids regenerates Fig. 5: the four t×p grids of
+// best batch time under growing optimization families.
+func BenchmarkFig5OptimizationGrids(b *testing.B) {
+	var feasible float64
+	for i := 0; i < b.N; i++ {
+		feasible = 0
+		for _, v := range experiments.Fig5Variants() {
+			g, err := experiments.Fig5Optimizations(v, experiments.ScaleSmall)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, c := range g.Cells {
+				if c.Found {
+					feasible++
+				}
+			}
+		}
+	}
+	b.ReportMetric(feasible, "feasible-cells")
+}
+
+// BenchmarkFig6SearchSpace regenerates Fig. 6: the full execution-space
+// enumeration with its feasibility count, sample-rate histogram, and
+// needles-in-a-haystack statistics.
+func BenchmarkFig6SearchSpace(b *testing.B) {
+	var stats experiments.Fig6Stats
+	for i := 0; i < b.N; i++ {
+		var err error
+		stats, err = experiments.Fig6SearchSpace(experiments.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stats.Evaluated), "evaluated")
+	b.ReportMetric(float64(stats.Feasible), "feasible")
+	b.ReportMetric(float64(stats.Within10Pct), "within-10%")
+}
+
+// BenchmarkFig7ScalingNoOffload regenerates Fig. 7: best-per-size scaling
+// for the three LLMs without offloading, with its efficiency cliffs.
+func BenchmarkFig7ScalingNoOffload(b *testing.B) {
+	var worstCliff float64
+	for i := 0; i < b.N; i++ {
+		curves, err := experiments.ScalingStudy(false, experiments.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstCliff = 0
+		for _, c := range curves {
+			if d := c.CliffDepth(); d > worstCliff {
+				worstCliff = d
+			}
+		}
+	}
+	b.ReportMetric(worstCliff, "worst-cliff-x")
+}
+
+// BenchmarkFig9Offload regenerates Fig. 9: offload bandwidth/capacity
+// requirements with an infinite second tier versus the practical
+// 512 GiB @ 100 GB/s tier.
+func BenchmarkFig9Offload(b *testing.B) {
+	var maxReqGBs float64
+	for i := 0; i < b.N; i++ {
+		inf, err := experiments.Fig9Offload(true, experiments.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig9Offload(false, experiments.ScaleSmall); err != nil {
+			b.Fatal(err)
+		}
+		maxReqGBs = 0
+		for _, c := range inf.Cells {
+			if c.Found && float64(c.OffloadBW)/1e9 > maxReqGBs {
+				maxReqGBs = float64(c.OffloadBW) / 1e9
+			}
+		}
+	}
+	b.ReportMetric(maxReqGBs, "max-req-GB/s")
+}
+
+// BenchmarkFig10ScalingOffload regenerates Fig. 10: the scaling study with
+// the 512 GiB @ 100 GB/s offload tier.
+func BenchmarkFig10ScalingOffload(b *testing.B) {
+	var worstCliff float64
+	for i := 0; i < b.N; i++ {
+		curves, err := experiments.ScalingStudy(true, experiments.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstCliff = 0
+		for _, c := range curves {
+			if d := c.CliffDepth(); d > worstCliff {
+				worstCliff = d
+			}
+		}
+	}
+	b.ReportMetric(worstCliff, "worst-cliff-x")
+}
+
+// BenchmarkFig11OffloadSpeedup regenerates Fig. 11: the per-size relative
+// speedup from adding the offload tier.
+func BenchmarkFig11OffloadSpeedup(b *testing.B) {
+	var maxSpeedup float64
+	for i := 0; i < b.N; i++ {
+		base, err := experiments.ScalingStudy(false, experiments.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		off, err := experiments.ScalingStudy(true, experiments.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp, err := experiments.OffloadSpeedup(base, off)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxSpeedup = 0
+		for _, c := range sp {
+			for _, v := range c.SpeedupPct {
+				if v > maxSpeedup && v < 1e6 { // skip the "infinite" points
+					maxSpeedup = v
+				}
+			}
+		}
+	}
+	b.ReportMetric(maxSpeedup, "max-speedup-%")
+}
+
+// BenchmarkTable3BudgetSearch regenerates Table 3: the $125M budgeted
+// system search across the 16 HBM3 × DDR5 designs for the three LLMs.
+func BenchmarkTable3BudgetSearch(b *testing.B) {
+	var designs float64
+	for i := 0; i < b.N; i++ {
+		evals, err := experiments.Table3Budget(experiments.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		designs = float64(len(evals))
+	}
+	b.ReportMetric(designs, "designs")
+}
+
+// BenchmarkTable4Fig12Strategies regenerates Table 4 / Fig. 12: the MFU
+// ladder from the full-recompute baseline to Calculon's offload strategy.
+func BenchmarkTable4Fig12Strategies(b *testing.B) {
+	var firstMFU, lastMFU float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4Strategies(experiments.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		firstMFU = 100 * rows[0].Result.MFU
+		lastMFU = 100 * rows[len(rows)-1].Result.MFU
+	}
+	b.ReportMetric(firstMFU, "baseline-MFU-%")
+	b.ReportMetric(lastMFU, "offload-MFU-%")
+}

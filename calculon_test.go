@@ -1,0 +1,84 @@
+package calculon_test
+
+import (
+	"errors"
+	"testing"
+
+	"calculon"
+)
+
+// TestPublicAPIQuickstart exercises the whole public surface the way the
+// examples do: run one configuration, search a system, and size a budget.
+func TestPublicAPIQuickstart(t *testing.T) {
+	m := calculon.MustPreset("gpt3-175B").WithBatch(64)
+	sys := calculon.A100(64)
+	st := calculon.Strategy{
+		TP: 8, PP: 8, DP: 1, Microbatch: 1, Interleave: 1, OneFOneB: true,
+		Recompute: calculon.RecomputeFull,
+	}
+	res, err := calculon.Run(m, sys, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchTime <= 0 || res.MFU <= 0 || res.Mem1.Total() <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestPublicAPISearch(t *testing.T) {
+	m := calculon.MustPreset("gpt3-13B").WithBatch(32)
+	sr, err := calculon.SearchExecution(m, calculon.A100(32), calculon.SearchOptions{
+		Enum: calculon.EnumOptions{Features: calculon.FeatureSeqPar, MaxInterleave: 2},
+		TopK: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Found() || len(sr.Top) == 0 {
+		t.Fatal("search found nothing")
+	}
+}
+
+func TestPublicAPISystemSize(t *testing.T) {
+	m := calculon.MustPreset("gpt3-13B").WithBatch(32)
+	pts, err := calculon.SearchSystemSize(m,
+		func(n int) calculon.System { return calculon.A100(n) },
+		[]int{16, 32},
+		calculon.SearchOptions{Enum: calculon.EnumOptions{Features: calculon.FeatureBaseline, MaxInterleave: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || !pts[0].Found {
+		t.Fatalf("scaling points: %+v", pts)
+	}
+}
+
+func TestPublicAPIErrInfeasible(t *testing.T) {
+	m := calculon.MustPreset("megatron-1T").WithBatch(1)
+	_, err := calculon.Run(m, calculon.A100(1), calculon.Strategy{TP: 1, PP: 1, DP: 1})
+	if !errors.Is(err, calculon.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestPublicAPIPresetsAndSystems(t *testing.T) {
+	if len(calculon.PresetNames()) < 5 {
+		t.Error("expected several LLM presets")
+	}
+	if _, err := calculon.Preset("nope"); err == nil {
+		t.Error("unknown preset must error")
+	}
+	h := calculon.H100(64, 80*calculon.GiB, 512*calculon.GiB)
+	if !h.Mem2.Present() {
+		t.Error("H100 with DDR must have mem2")
+	}
+	if len(calculon.AllDesigns()) != 16 {
+		t.Error("want the 16-design grid")
+	}
+	if !calculon.InfiniteMem2().Capacity.IsUnbounded() {
+		t.Error("InfiniteMem2 must be unbounded")
+	}
+	if calculon.DDR5(512*calculon.GiB).Bandwidth != 100e9 {
+		t.Error("DDR5 bandwidth must be 100 GB/s")
+	}
+}

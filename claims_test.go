@@ -1,0 +1,133 @@
+package calculon_test
+
+import (
+	"testing"
+
+	"calculon"
+)
+
+// This file asserts the paper's three headline findings (§1) end-to-end
+// through the public API, at reduced scale.
+
+func searchOpts() calculon.SearchOptions {
+	return calculon.SearchOptions{
+		Enum: calculon.EnumOptions{
+			Features:      calculon.FeatureAll,
+			PinBeneficial: true,
+			MaxInterleave: 4,
+		},
+	}
+}
+
+// TestClaim1NoUniformBestStrategy — "None of the existing software-
+// parallelism strategies is uniformly the best. However, there is an
+// optimal split-parallelism strategy … with the exact optimum depending on
+// system parameters." The best split must beat every single-mode extreme,
+// and changing the system must move the optimum.
+func TestClaim1NoUniformBestStrategy(t *testing.T) {
+	m := calculon.MustPreset("megatron-1T").WithBatch(512)
+
+	sysA := calculon.A100(512)
+	resA, err := calculon.SearchExecution(m, sysA, searchOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resA.Found() {
+		t.Fatal("search found nothing")
+	}
+	best := resA.Best
+	// The optimum is a genuine split: no parallelism mode at its extreme.
+	st := best.Strategy
+	if st.TP == 1 || st.TP*st.PP*st.DP != 512 {
+		t.Errorf("optimum should blend modes, got %v", st)
+	}
+	// Single-mode-heavy strategies lose to it.
+	for _, extreme := range []calculon.Strategy{
+		{TP: 32, PP: 16, DP: 1, Microbatch: 1, Interleave: 1, OneFOneB: true,
+			Recompute: calculon.RecomputeFull, TPRSAG: true, OptimSharding: true},
+		{TP: 1, PP: 128, DP: 4, Microbatch: 1, Interleave: 1, OneFOneB: true,
+			Recompute: calculon.RecomputeFull, TPRSAG: true, OptimSharding: true},
+	} {
+		r, err := calculon.Run(m, sysA, extreme)
+		if err != nil {
+			continue // an infeasible extreme also proves the point
+		}
+		if r.SampleRate >= best.SampleRate {
+			t.Errorf("extreme %v (%.1f/s) should lose to the searched optimum (%.1f/s)",
+				extreme, r.SampleRate, best.SampleRate)
+		}
+	}
+
+	// A different system (bigger NVLink domain, more memory) moves the
+	// optimal split.
+	sysB := calculon.A100(512).WithFastDomain(32).WithMem1Capacity(160 * calculon.GiB)
+	resB, err := calculon.SearchExecution(m, sysB, searchOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resB.Found() {
+		t.Fatal("search on system B found nothing")
+	}
+	if resA.Best.Strategy == resB.Best.Strategy {
+		t.Errorf("the optimum should depend on system parameters; both systems chose %v",
+			resA.Best.Strategy)
+	}
+}
+
+// TestClaim2EfficiencyCliffs — "The speed of LLM training can be a
+// sensitive function of system size": an awkward size right next to a
+// well-factoring one performs markedly worse per GPU.
+func TestClaim2EfficiencyCliffs(t *testing.T) {
+	m := calculon.MustPreset("turing-530B").WithBatch(512) // 105 blocks, hard to map
+	sizes := []int{248, 256}                               // 248 = 8·31: no clean (t,p,d) factorization
+	pts, err := calculon.SearchSystemSize(m,
+		func(n int) calculon.System { return calculon.A100(n) }, sizes, searchOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pts[1].Found {
+		t.Fatal("530B should run on 256 GPUs")
+	}
+	perGPU := func(p calculon.ScalingPoint) float64 {
+		return p.Best.SampleRate / float64(p.Procs)
+	}
+	if pts[0].Found {
+		drop := perGPU(pts[1]) / perGPU(pts[0])
+		if drop < 1.05 {
+			t.Errorf("expected an efficiency cliff at 248 GPUs; per-GPU ratio %.3f", drop)
+		}
+	}
+	// If 248 cannot run at all, that is the deepest possible cliff — pass.
+}
+
+// TestClaim3OffloadTier — "Adding a second high-capacity tier of memory …
+// enables efficient training of larger models [and] the bandwidth
+// requirement … is within current technological capabilities."
+func TestClaim3OffloadTier(t *testing.T) {
+	m := calculon.MustPreset("megatron-1T").WithBatch(256)
+	bare := calculon.A100(128)
+	r1, err := calculon.SearchExecution(m, bare, searchOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Found() {
+		t.Fatal("1T should not fit on 128 bare 80-GiB GPUs")
+	}
+	tiered := bare.WithMem2(calculon.DDR5(512 * calculon.GiB))
+	r2, err := calculon.SearchExecution(m, tiered, searchOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Found() {
+		t.Fatal("the offload tier should enable 1T training on 128 GPUs")
+	}
+	if r2.Best.MFU < 0.5 {
+		t.Errorf("offload-enabled training should stay efficient, MFU %.1f%%", 100*r2.Best.MFU)
+	}
+	// "within current technological capabilities": the required offload
+	// bandwidth must not exceed a DDR/CXL-class link.
+	if r2.Best.OffloadBWRequired > 200e9 {
+		t.Errorf("required offload bandwidth %v is beyond a DDR-class link",
+			r2.Best.OffloadBWRequired)
+	}
+}

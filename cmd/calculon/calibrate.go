@@ -1,0 +1,33 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"calculon/internal/calibrate"
+)
+
+func cmdCalibrate(args []string) error {
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	lo := fs.Float64("lo", 0.7, "lowest matrix-efficiency scale to try")
+	hi := fs.Float64("hi", 1.3, "highest matrix-efficiency scale to try")
+	steps := fs.Int("steps", 25, "sweep resolution")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fit, err := calibrate.Fit(*lo, *hi, *steps)
+	if err != nil {
+		return err
+	}
+	fmt.Println("matrix-efficiency calibration against the Table 2 Selene measurements:")
+	for _, p := range fit.Sweep {
+		marker := ""
+		if p.Factor == fit.BestFactor {
+			marker = "  <- best"
+		}
+		fmt.Printf("  scale %.3f -> avg |err| %5.2f%%%s\n", p.Factor, 100*p.Error, marker)
+	}
+	fmt.Printf("shipped curves (scale 1.000): avg |err| %.2f%%\n", 100*fit.UnitError)
+	fmt.Printf("fitted optimum: scale %.3f at %.2f%%\n", fit.BestFactor, 100*fit.BestError)
+	return nil
+}

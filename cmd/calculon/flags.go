@@ -1,0 +1,11 @@
+package main
+
+import (
+	"calculon/internal/units"
+)
+
+// parseBytes adapts units.ParseBytes for flag values.
+func parseBytes(s string) (units.Bytes, error) { return units.ParseBytes(s) }
+
+// bps converts a raw float flag to a bandwidth.
+func bps(v float64) units.BytesPerSec { return units.BytesPerSec(v) }

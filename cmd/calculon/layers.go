@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/perf"
+	"calculon/internal/report"
+	"calculon/internal/system"
+)
+
+// printLayers renders the per-layer cost profile of one transformer block.
+func printLayers(m model.LLM, sys system.System, st execution.Strategy) error {
+	rows, err := perf.LayerTimes(m, sys, st)
+	if err != nil {
+		return err
+	}
+	table := [][]string{{"layer", "engine", "fwd FLOPs", "fwd traffic", "fwd time", "bound", "bwd time", "weights", "acts"}}
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Name, r.Engine.String(),
+			r.FwdFLOPs.String(), r.FwdTraffic.String(),
+			r.FwdTime.String(), r.FwdBound, r.BwdTime.String(),
+			r.WeightBytes.String(), r.ActBytes.String(),
+		})
+	}
+	fmt.Println("per-layer profile of one transformer block (one microbatch):")
+	report.Table(os.Stdout, table)
+	return nil
+}

@@ -1,0 +1,420 @@
+// Command calculon is the CLI of the Calculon reproduction: single-point
+// performance estimates, exhaustive execution search, system-size scaling
+// sweeps, and one-shot reproduction of every table and figure of the
+// paper's evaluation.
+//
+// Usage:
+//
+//	calculon run     -model gpt3-175B -procs 4096 -tp 8 -pp 64 -dp 8 [flags]
+//	calculon run     -scenario scenario.json
+//	calculon search  -model gpt3-175B -batch 4096 -procs 4096 [flags]
+//	calculon study   <fig3|fig4|fig5|fig6|fig7|fig9|fig10|fig11|table1|table2|table3|table4> [-full]
+//	calculon presets
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"calculon/internal/config"
+	"calculon/internal/execution"
+	"calculon/internal/experiments"
+	"calculon/internal/model"
+	"calculon/internal/perf"
+	"calculon/internal/report"
+	"calculon/internal/search"
+	"calculon/internal/system"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	if err := dispatch(os.Args[1], os.Args[2:]); err != nil {
+		if err == errUnknownCommand {
+			fmt.Fprintf(os.Stderr, "calculon: unknown command %q\n", os.Args[1])
+			usage()
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "calculon:", err)
+		os.Exit(1)
+	}
+}
+
+// errUnknownCommand marks an unrecognized subcommand for main's exit code.
+var errUnknownCommand = fmt.Errorf("unknown command")
+
+// dispatch routes one subcommand; extracted from main for testability.
+func dispatch(cmd string, args []string) error {
+	switch cmd {
+	case "run":
+		return cmdRun(args)
+	case "search":
+		return cmdSearch(args)
+	case "scaling":
+		return cmdScaling(args)
+	case "timeline":
+		return cmdTimeline(args)
+	case "sensitivity":
+		return cmdSensitivity(args)
+	case "infer":
+		return cmdInfer(args)
+	case "tco":
+		return cmdTCO(args)
+	case "study":
+		return cmdStudy(args)
+	case "calibrate":
+		return cmdCalibrate(args)
+	case "presets":
+		return cmdPresets()
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		return errUnknownCommand
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  calculon run     -model <preset> -procs N -tp T -pp P -dp D [flags]   single estimate
+  calculon run     -scenario file.json                                  estimate from a spec file
+  calculon search  -model <preset> -procs N [flags]                     optimal execution search (§5.1)
+  calculon study   <experiment> [-full]                                 reproduce a paper table/figure
+  calculon scaling -model <preset> -step 64 -max 1024 [flags]           size sweep + right-sizing (§5.2)
+  calculon timeline -model <preset> -tp T -pp P -interleave V [flags]   render the pipeline schedule (Fig. 2)
+  calculon sensitivity -model <preset> -procs N -tp T -pp P [flags]     batch-time elasticity per resource
+  calculon infer   -model <preset> -tp T -pp P [flags]                  serving (prefill+decode) estimate
+  calculon tco     -model <preset> -procs N -tokens 450e9 [flags]       training-run cost of the best strategy
+  calculon calibrate [-lo 0.7 -hi 1.3 -steps 25]                        refit efficiency curves vs Table 2
+  calculon presets                                                      list model/system presets
+
+experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 fig11 table1 table2 table3 table4 seqscale`)
+}
+
+type commonFlags struct {
+	model  string
+	batch  int
+	system string
+	procs  int
+	hbm    string
+	mem2   string
+	mem2BW float64
+}
+
+func addCommon(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	fs.StringVar(&c.model, "model", "gpt3-175B", "LLM preset name (see `calculon presets`)")
+	fs.IntVar(&c.batch, "batch", 0, "global batch override (0 keeps the preset batch)")
+	fs.StringVar(&c.system, "system", "a100-80g", "system preset name")
+	fs.IntVar(&c.procs, "procs", 4096, "number of processors")
+	fs.StringVar(&c.hbm, "hbm", "", "first-tier capacity override, e.g. 160GiB")
+	fs.StringVar(&c.mem2, "mem2", "", "offload-tier capacity, e.g. 512GiB (empty disables)")
+	fs.Float64Var(&c.mem2BW, "mem2-bw", 100e9, "offload-tier bandwidth in B/s per direction")
+	return c
+}
+
+func (c *commonFlags) resolve() (model.LLM, system.System, error) {
+	m, err := model.Preset(c.model)
+	if err != nil {
+		return m, system.System{}, err
+	}
+	if c.batch > 0 {
+		m = m.WithBatch(c.batch)
+	}
+	sys, err := system.Preset(c.system, c.procs)
+	if err != nil {
+		return m, sys, err
+	}
+	if c.hbm != "" {
+		cap, err := parseBytes(c.hbm)
+		if err != nil {
+			return m, sys, err
+		}
+		sys = sys.WithMem1Capacity(cap)
+	}
+	if c.mem2 != "" {
+		cap, err := parseBytes(c.mem2)
+		if err != nil {
+			return m, sys, err
+		}
+		sys = sys.WithMem2(system.Memory{Capacity: cap, Bandwidth: bps(c.mem2BW)})
+	}
+	return m, sys, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	c := addCommon(fs)
+	scenario := fs.String("scenario", "", "JSON scenario file (overrides other flags)")
+	tp := fs.Int("tp", 8, "tensor parallelism degree")
+	pp := fs.Int("pp", 8, "pipeline parallelism degree")
+	dp := fs.Int("dp", 1, "data parallelism degree")
+	mb := fs.Int("microbatch", 1, "microbatch size")
+	il := fs.Int("interleave", 1, "pipeline interleaving factor")
+	recompute := fs.String("recompute", "full", "activation recompute: none|attn|full")
+	seqpar := fs.Bool("seqpar", false, "sequence parallelism (implies TP RS+AG)")
+	overlap := fs.String("tp-overlap", "none", "TP comm overlap: none|pipe|ring")
+	dpOverlap := fs.Bool("dp-overlap", false, "overlap DP communication with backward")
+	shard := fs.Bool("shard-optimizer", false, "shard optimizer state across DP")
+	fused := fs.Bool("fused", false, "fuse element-wise layers")
+	offload := fs.String("offload", "", "comma-free offload letters: w(eights) a(ctivations) o(ptimizer), e.g. wao")
+	inference := fs.Bool("inference", false, "forward-only inference estimate")
+	layersFlag := fs.Bool("layers", false, "print the per-layer cost profile of one block")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		m   model.LLM
+		sys system.System
+		st  execution.Strategy
+		err error
+	)
+	if *scenario != "" {
+		sc, err := config.Load[config.Scenario](*scenario)
+		if err != nil {
+			return err
+		}
+		m, sys, st, err = sc.Resolve()
+		if err != nil {
+			return err
+		}
+	} else {
+		m, sys, err = c.resolve()
+		if err != nil {
+			return err
+		}
+		st = execution.Strategy{
+			TP: *tp, PP: *pp, DP: *dp, Microbatch: *mb, Interleave: *il,
+			OneFOneB:  true,
+			Recompute: execution.RecomputeMode(*recompute),
+			TPOverlap: execution.TPOverlapMode(*overlap),
+			DPOverlap: *dpOverlap, OptimSharding: *shard, FusedLayers: *fused,
+			Inference: *inference,
+		}
+		if *seqpar {
+			st.TPRSAG, st.SeqParallel = true, true
+		}
+		for _, ch := range *offload {
+			switch ch {
+			case 'w':
+				st.WeightOffload = true
+			case 'a':
+				st.ActOffload = true
+			case 'o':
+				st.OptimOffload = true
+			default:
+				return fmt.Errorf("bad -offload letter %q", string(ch))
+			}
+		}
+	}
+	res, err := perf.Run(m, sys, st)
+	if err != nil {
+		return err
+	}
+	report.Breakdown(os.Stdout, res)
+	if *layersFlag {
+		fmt.Println()
+		if err := printLayers(m, sys, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	c := addCommon(fs)
+	features := fs.String("features", "all", "optimization family: baseline|seqpar|all")
+	topK := fs.Int("topk", 10, "print the K best configurations")
+	hist := fs.Bool("histogram", false, "print the Fig. 6-style sample-rate histogram")
+	pareto := fs.Bool("pareto", false, "print the time-vs-memory Pareto front")
+	pin := fs.Bool("pin", false, "pin always-beneficial toggles (faster, same optimum)")
+	maxIl := fs.Int("max-interleave", 0, "cap the interleave factor (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, sys, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	res, err := search.Execution(m, sys, search.Options{
+		Enum: execution.EnumOptions{
+			Features:      execution.FeatureSet(*features),
+			MaxInterleave: *maxIl,
+			PinBeneficial: *pin,
+		},
+		TopK:         *topK,
+		CollectRates: *hist,
+		Pareto:       *pareto,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("evaluated %d strategies, %d feasible\n", res.Evaluated, res.Feasible)
+	if !res.Found() {
+		fmt.Println("no feasible configuration")
+		return nil
+	}
+	for i, r := range res.Top {
+		fmt.Printf("#%d  %.1f samples/s  MFU %.2f%%  %v  mem1 %v\n",
+			i+1, r.SampleRate, 100*r.MFU, r.Strategy, r.Mem1.Total())
+	}
+	fmt.Println()
+	report.Breakdown(os.Stdout, res.Best)
+	if *pareto {
+		fmt.Println("\ntime-vs-memory Pareto front (fastest first):")
+		for _, r := range res.Pareto {
+			fmt.Printf("  %v  mem1 %v  %v\n", r.BatchTime, r.Mem1.Total(), r.Strategy)
+		}
+	}
+	if *hist {
+		h := search.NewHistogram(res.Rates, 10)
+		report.HistogramChart(os.Stdout, "sample-rate distribution", h.Min, h.Max, h.Counts, 40)
+		fmt.Printf("within 10%% of best: %d of %d\n",
+			search.WithinFraction(res.Rates, 0.10), res.Feasible)
+	}
+	return nil
+}
+
+func cmdStudy(args []string) error {
+	fs := flag.NewFlagSet("study", flag.ExitOnError)
+	full := fs.Bool("full", false, "paper-sized sweeps (minutes) instead of reduced ones")
+	asJSON := fs.Bool("json", false, "emit the experiment's data as JSON instead of rendering it")
+	if len(args) == 0 {
+		return fmt.Errorf("study: missing experiment name")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	scale := experiments.ScaleSmall
+	if *full {
+		scale = experiments.ScaleFull
+	}
+	w := os.Stdout
+	emit := func(render func(), v any) error {
+		if *asJSON {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(v)
+		}
+		render()
+		return nil
+	}
+	switch name {
+	case "table1":
+		rows, err := experiments.Table1Ablation()
+		if err != nil {
+			return err
+		}
+		return emit(func() { experiments.RenderTable1(w, rows) }, rows)
+	case "table2":
+		rows, err := experiments.Table2Validation()
+		if err != nil {
+			return err
+		}
+		return emit(func() { experiments.RenderTable2(w, rows) }, rows)
+	case "table3":
+		evals, err := experiments.Table3Budget(scale)
+		if err != nil {
+			return err
+		}
+		return emit(func() { experiments.RenderTable3(w, evals) }, evals)
+	case "table4", "fig12":
+		rows, err := experiments.Table4Strategies(scale)
+		if err != nil {
+			return err
+		}
+		return emit(func() { experiments.RenderTable4(w, rows) }, rows)
+	case "fig2":
+		if err := experiments.Fig2Schedule(w); err != nil {
+			return err
+		}
+	case "fig3":
+		res, err := experiments.Fig3Breakdown()
+		if err != nil {
+			return err
+		}
+		return emit(func() { report.Breakdown(w, res) }, res)
+	case "fig4":
+		sweeps, err := experiments.Fig4Parallelism()
+		if err != nil {
+			return err
+		}
+		return emit(func() { experiments.RenderFig4(w, sweeps) }, sweeps)
+	case "fig5":
+		for _, v := range experiments.Fig5Variants() {
+			g, err := experiments.Fig5Optimizations(v, scale)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig5(w, g)
+			fmt.Fprintln(w)
+		}
+	case "fig6":
+		stats, err := experiments.Fig6SearchSpace(scale)
+		if err != nil {
+			return err
+		}
+		return emit(func() { experiments.RenderFig6(w, stats) }, stats)
+	case "fig7", "fig10":
+		curves, err := experiments.ScalingStudy(name == "fig10", scale)
+		if err != nil {
+			return err
+		}
+		title := "Fig. 7 — LLM training scalability (no offloading)"
+		if name == "fig10" {
+			title = "Fig. 10 — LLM training scalability (100 GB/s offloading)"
+		}
+		experiments.RenderScaling(w, title, curves)
+	case "fig9":
+		for _, infinite := range []bool{true, false} {
+			g, err := experiments.Fig9Offload(infinite, scale)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig9(w, g)
+			fmt.Fprintln(w)
+		}
+	case "fig11":
+		base, err := experiments.ScalingStudy(false, scale)
+		if err != nil {
+			return err
+		}
+		off, err := experiments.ScalingStudy(true, scale)
+		if err != nil {
+			return err
+		}
+		sp, err := experiments.OffloadSpeedup(base, off)
+		if err != nil {
+			return err
+		}
+		experiments.RenderSpeedup(w, sp)
+	case "seqscale":
+		pts, err := experiments.SeqScale(scale)
+		if err != nil {
+			return err
+		}
+		return emit(func() { experiments.RenderSeqScale(w, pts) }, pts)
+	default:
+		return fmt.Errorf("study: unknown experiment %q", name)
+	}
+	return nil
+}
+
+func cmdPresets() error {
+	fmt.Println("LLM presets:")
+	for _, n := range model.PresetNames() {
+		fmt.Printf("  %v\n", model.MustPreset(n))
+	}
+	fmt.Println("system presets:")
+	for _, n := range system.PresetNames() {
+		fmt.Printf("  %s\n", n)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput: %s", ferr, out)
+	}
+	return out
+}
+
+func TestDispatchPresets(t *testing.T) {
+	out := capture(t, func() error { return dispatch("presets", nil) })
+	for _, frag := range []string{"gpt3-175B", "megatron-1T", "a100-80g", "h100-80g"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("presets output missing %q", frag)
+		}
+	}
+}
+
+func TestDispatchRun(t *testing.T) {
+	out := capture(t, func() error {
+		return dispatch("run", []string{"-model", "gpt3-13B", "-batch", "8",
+			"-procs", "8", "-tp", "8", "-pp", "1", "-dp", "1", "-recompute", "none", "-layers"})
+	})
+	for _, frag := range []string{"batch time", "MFU", "attn_qkv", "mlp_fc2"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("run output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDispatchRunScenario(t *testing.T) {
+	root := repoRootForTest(t)
+	out := capture(t, func() error {
+		return dispatch("run", []string{"-scenario",
+			filepath.Join(root, "configs", "scenarios", "validation-1t-full.json")})
+	})
+	if !strings.Contains(out, "megatron-1T") {
+		t.Errorf("scenario run output missing model:\n%s", out)
+	}
+}
+
+func TestDispatchStudyJSON(t *testing.T) {
+	out := capture(t, func() error { return dispatch("study", []string{"table2", "-json"}) })
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(out), &rows); err != nil {
+		t.Fatalf("study -json is not valid JSON: %v", err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("want 8 validation rows, got %d", len(rows))
+	}
+}
+
+func TestDispatchInfer(t *testing.T) {
+	out := capture(t, func() error {
+		return dispatch("infer", []string{"-model", "gpt3-13B", "-tp", "8", "-pp", "1",
+			"-prompt", "128", "-gen", "16", "-serve-batch", "2"})
+	})
+	for _, frag := range []string{"prefill", "per-token", "throughput"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("infer output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDispatchTimeline(t *testing.T) {
+	out := capture(t, func() error {
+		return dispatch("timeline", []string{"-model", "gpt3-13B", "-batch", "12",
+			"-tp", "4", "-pp", "4", "-interleave", "2", "-width", "80"})
+	})
+	if !strings.Contains(out, "stage  0") || !strings.Contains(out, "bubble") {
+		t.Errorf("timeline output incomplete:\n%s", out)
+	}
+}
+
+func TestDispatchSensitivity(t *testing.T) {
+	out := capture(t, func() error {
+		return dispatch("sensitivity", []string{"-model", "gpt3-13B", "-batch", "8",
+			"-procs", "8", "-tp", "8", "-pp", "1", "-dp", "1", "-recompute", "none"})
+	})
+	if !strings.Contains(out, "matrix throughput") {
+		t.Errorf("sensitivity output incomplete:\n%s", out)
+	}
+}
+
+func TestDispatchUnknown(t *testing.T) {
+	if err := dispatch("bogus", nil); err != errUnknownCommand {
+		t.Fatalf("want errUnknownCommand, got %v", err)
+	}
+}
+
+func repoRootForTest(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"calculon/internal/execution"
+	"calculon/internal/sensitivity"
+)
+
+func cmdSensitivity(args []string) error {
+	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
+	c := addCommon(fs)
+	tp := fs.Int("tp", 8, "tensor parallelism degree")
+	pp := fs.Int("pp", 8, "pipeline parallelism degree")
+	dp := fs.Int("dp", 1, "data parallelism degree")
+	mb := fs.Int("microbatch", 1, "microbatch size")
+	il := fs.Int("interleave", 1, "pipeline interleaving factor")
+	recompute := fs.String("recompute", "full", "activation recompute: none|attn|full")
+	frac := fs.Float64("perturb", 0.10, "perturbation fraction (0.10 = ±10%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, sys, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	st := execution.Strategy{
+		TP: *tp, PP: *pp, DP: *dp, Microbatch: *mb, Interleave: *il, OneFOneB: true,
+		Recompute: execution.RecomputeMode(*recompute), TPRSAG: true,
+	}
+	es, err := sensitivity.Analyze(m, sys, st, *frac)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch-time sensitivity of %s on %d × %s at %v (±%.0f%% per resource):\n",
+		m.Name, sys.Procs, sys.Name, st, 100**frac)
+	sensitivity.Render(os.Stdout, *frac, es)
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"calculon/internal/execution"
+	"calculon/internal/inference"
+	"calculon/internal/search"
+	"calculon/internal/tco"
+)
+
+func cmdInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	c := addCommon(fs)
+	tp := fs.Int("tp", 8, "tensor parallelism degree")
+	pp := fs.Int("pp", 1, "pipeline parallelism degree")
+	prompt := fs.Int("prompt", 512, "prompt length in tokens")
+	gen := fs.Int("gen", 256, "generated tokens per sequence")
+	batch := fs.Int("serve-batch", 8, "concurrent sequences")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c.procs = *tp * *pp
+	m, sys, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	st := execution.Strategy{
+		TP: *tp, PP: *pp, DP: 1, Microbatch: 1, Interleave: 1, OneFOneB: true,
+		Recompute: execution.RecomputeNone, TPRSAG: true,
+	}
+	res, err := inference.Estimate(m, sys, st, inference.Workload{
+		PromptLen: *prompt, GenLen: *gen, Batch: *batch,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s serving on %d × %s (t=%d, p=%d)\n", m.Name, c.procs, sys.Name, *tp, *pp)
+	fmt.Printf("  prompt %d, generate %d, batch %d\n", *prompt, *gen, *batch)
+	fmt.Printf("  prefill (time to first token): %v\n", res.PrefillTime)
+	fmt.Printf("  per-token latency:             %v\n", res.StepTime)
+	fmt.Printf("  throughput:                    %.1f tokens/s\n", res.TokensPerSec)
+	fmt.Printf("  full response time:            %v\n", res.TotalTime)
+	bound := "compute"
+	if res.DecodeBandwidthBound {
+		bound = "memory bandwidth"
+	}
+	fmt.Printf("  decode bound by:               %s\n", bound)
+	fmt.Printf("  per GPU: weights %v, KV cache %v, total %v of %v\n",
+		res.WeightBytes, res.KVCacheBytes, res.Mem1Used, sys.Mem1.Capacity)
+	return nil
+}
+
+func cmdTCO(args []string) error {
+	fs := flag.NewFlagSet("tco", flag.ExitOnError)
+	c := addCommon(fs)
+	tokens := fs.Float64("tokens", 450e9, "training tokens")
+	capex := fs.Float64("capex", 25_000, "capex per GPU in dollars")
+	watts := fs.Float64("watts", 500, "average power per GPU")
+	kwh := fs.Float64("kwh", 0.10, "energy price per kWh in dollars")
+	pin := fs.Bool("pin", true, "pin always-beneficial toggles in the search")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, sys, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	res, err := search.Execution(m, sys, search.Options{
+		Enum: execution.EnumOptions{
+			Features:      execution.FeatureAll,
+			PinBeneficial: *pin,
+			MaxInterleave: 4,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if !res.Found() {
+		return fmt.Errorf("no feasible execution for %s on %d × %s", m.Name, sys.Procs, sys.Name)
+	}
+	assume := tco.DefaultAssumptions()
+	assume.CapexPerGPU = *capex
+	assume.GPUPowerWatts = *watts
+	assume.EnergyCostPerKWh = *kwh
+	cost, err := tco.TrainingRun(res.Best, *tokens, assume)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s, %.3g tokens, best of %d feasible strategies on %d × %s:\n",
+		m.Name, *tokens, res.Feasible, sys.Procs, sys.Name)
+	fmt.Printf("  strategy: %v (MFU %.1f%%)\n", res.Best.Strategy, 100*res.Best.MFU)
+	fmt.Printf("  %v\n", cost)
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"calculon/internal/execution"
+	"calculon/internal/perf"
+	"calculon/internal/pipesim"
+)
+
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	c := addCommon(fs)
+	tp := fs.Int("tp", 8, "tensor parallelism degree")
+	pp := fs.Int("pp", 4, "pipeline parallelism degree")
+	dp := fs.Int("dp", 1, "data parallelism degree")
+	mb := fs.Int("microbatch", 1, "microbatch size")
+	il := fs.Int("interleave", 2, "pipeline interleaving factor")
+	recompute := fs.String("recompute", "none", "activation recompute: none|attn|full")
+	width := fs.Int("width", 150, "timeline width in characters")
+	traceOut := fs.String("trace", "", "also write a Chrome trace-event JSON file (chrome://tracing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c.procs = *tp * *pp * *dp
+	m, sys, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	st := execution.Strategy{
+		TP: *tp, PP: *pp, DP: *dp, Microbatch: *mb, Interleave: *il, OneFOneB: true,
+		Recompute: execution.RecomputeMode(*recompute), TPRSAG: true,
+	}
+	params, err := perf.PipelineParams(m, sys, st)
+	if err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pipesim.WriteChromeTrace(f, params); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s\n", *traceOut)
+	}
+	return pipesim.RenderTimeline(os.Stdout, params, *width)
+}

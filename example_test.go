@@ -1,0 +1,80 @@
+package calculon_test
+
+import (
+	"fmt"
+
+	"calculon"
+)
+
+// ExampleRun estimates one training configuration and prints the headline
+// numbers. (The exact values depend on the calibrated efficiency curves;
+// the example prints derived booleans so it stays stable.)
+func ExampleRun() {
+	m := calculon.MustPreset("gpt3-175B").WithBatch(64)
+	sys := calculon.A100(64)
+	st := calculon.Strategy{
+		TP: 8, PP: 8, DP: 1, Microbatch: 1, Interleave: 1, OneFOneB: true,
+		Recompute: calculon.RecomputeFull,
+	}
+	res, err := calculon.Run(m, sys, st)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("fits in 80 GiB:", res.Mem1.Total() < 80*calculon.GiB)
+	fmt.Println("recompute slower than forward:", res.Time.Recompute >= res.Time.FwdPass/2)
+	fmt.Println("procs:", res.ProcsUsed)
+	// Output:
+	// fits in 80 GiB: true
+	// recompute slower than forward: true
+	// procs: 64
+}
+
+// ExampleRun_infeasible shows the feasibility checking: a trillion-
+// parameter model cannot run on a single GPU.
+func ExampleRun_infeasible() {
+	m := calculon.MustPreset("megatron-1T").WithBatch(1)
+	_, err := calculon.Run(m, calculon.A100(1), calculon.Strategy{TP: 1, PP: 1, DP: 1})
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}
+
+// ExampleSearchExecution finds the best execution strategy for a model on
+// a fixed system — the paper's §5.1 exhaustive search.
+func ExampleSearchExecution() {
+	m := calculon.MustPreset("gpt3-13B").WithBatch(32)
+	res, err := calculon.SearchExecution(m, calculon.A100(32), calculon.SearchOptions{
+		Enum: calculon.EnumOptions{Features: calculon.FeatureSeqPar, MaxInterleave: 2},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("found:", res.Found())
+	fmt.Println("best uses all procs:", res.Best.Strategy.Procs() == 32)
+	// Output:
+	// found: true
+	// best uses all procs: true
+}
+
+// ExampleEstimateInference prices a serving deployment: prefill plus
+// bandwidth-bound autoregressive decode.
+func ExampleEstimateInference() {
+	m := calculon.MustPreset("gpt3-175B")
+	st := calculon.Strategy{
+		TP: 8, PP: 1, DP: 1, Microbatch: 1, Interleave: 1, OneFOneB: true,
+		Recompute: calculon.RecomputeNone, TPRSAG: true,
+	}
+	res, err := calculon.EstimateInference(m, calculon.A100(8), st,
+		calculon.ServingWorkload{PromptLen: 512, GenLen: 128, Batch: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("decode bandwidth-bound:", res.DecodeBandwidthBound)
+	fmt.Println("prefill dominates short generations:", res.PrefillTime > res.StepTime)
+	// Output:
+	// decode bandwidth-bound: true
+	// prefill dominates short generations: true
+}

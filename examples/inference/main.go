@@ -1,0 +1,71 @@
+// Inference study: LLM serving estimates with the generation-aware model —
+// prefill (compute-bound prompt pass) plus autoregressive decode
+// (bandwidth-bound weight and KV-cache streaming). Sizes a GPT-3 175B
+// deployment: minimum GPUs to hold weights and KV cache, the latency/
+// throughput trade of tensor vs pipeline parallelism, and the batch-size
+// crossover where decode stops being bandwidth-bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calculon"
+)
+
+func main() {
+	m := calculon.MustPreset("gpt3-175B")
+	w := calculon.ServingWorkload{PromptLen: 512, GenLen: 256, Batch: 8}
+
+	fmt.Println("GPT-3 175B serving — prompt 512, generate 256, batch 8")
+	fmt.Printf("%-18s %-14s %-14s %-14s %-12s %-12s\n",
+		"config", "prefill", "per-token", "tokens/s", "weights/GPU", "KV/GPU")
+	for _, cfg := range []struct{ t, p int }{
+		{8, 1}, {8, 2}, {8, 4}, {4, 2}, {2, 4},
+	} {
+		st := calculon.Strategy{
+			TP: cfg.t, PP: cfg.p, DP: 1, Microbatch: 1, Interleave: 1, OneFOneB: true,
+			Recompute: calculon.RecomputeNone, TPRSAG: true,
+		}
+		sys := calculon.A100(cfg.t * cfg.p)
+		res, err := calculon.EstimateInference(m, sys, st, w)
+		if err != nil {
+			fmt.Printf("%-18s %v\n", fmt.Sprintf("t=%d p=%d", cfg.t, cfg.p), err)
+			continue
+		}
+		fmt.Printf("%-18s %-14v %-14v %-14.1f %-12v %-12v\n",
+			fmt.Sprintf("t=%d p=%d (%d GPU)", cfg.t, cfg.p, cfg.t*cfg.p),
+			res.PrefillTime, res.StepTime, res.TokensPerSec,
+			res.WeightBytes, res.KVCacheBytes)
+	}
+
+	fmt.Println("\nbatch-size sweep on t=8 p=1 — decode leaves the bandwidth-bound regime:")
+	fmt.Printf("%-8s %-14s %-14s %-18s\n", "batch", "per-token", "tokens/s", "bound by")
+	for _, batch := range []int{1, 4, 16, 64, 256} {
+		st := calculon.Strategy{
+			TP: 8, PP: 1, DP: 1, Microbatch: 1, Interleave: 1, OneFOneB: true,
+			Recompute: calculon.RecomputeNone, TPRSAG: true,
+		}
+		wb := w
+		wb.Batch = batch
+		res, err := calculon.EstimateInference(m, calculon.A100(8), st, wb)
+		if err != nil {
+			fmt.Printf("%-8d infeasible: %v\n", batch, err)
+			continue
+		}
+		bound := "compute"
+		if res.DecodeBandwidthBound {
+			bound = "memory bandwidth"
+		}
+		fmt.Printf("%-8d %-14v %-14.1f %-18s\n", batch, res.StepTime, res.TokensPerSec, bound)
+	}
+
+	// One-GPU check: the weights alone exceed any single A100.
+	st1 := calculon.Strategy{TP: 1, PP: 1, DP: 1, Microbatch: 1, Interleave: 1,
+		OneFOneB: true, Recompute: calculon.RecomputeNone}
+	if _, err := calculon.EstimateInference(m, calculon.A100(1), st1, w); err != nil {
+		fmt.Printf("\nsingle A100: %v\n", err)
+	} else {
+		log.Fatal("a single A100 should not fit 175B fp16 weights")
+	}
+}

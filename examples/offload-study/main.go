@@ -1,0 +1,75 @@
+// Offload study: the §6 analysis. Shows that a second memory tier lets a
+// trillion-parameter model train on a small GPU count at high efficiency
+// (the paper's "fine-tuning on small systems" finding), probes the offload
+// bandwidth/capacity requirement with an infinite tier (Eq. 1), and then
+// checks how close a practical 512 GiB @ 100 GB/s tier comes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calculon"
+)
+
+func main() {
+	m := calculon.MustPreset("megatron-1T").WithBatch(256)
+	const gpus = 128
+
+	searchOpts := calculon.SearchOptions{
+		Enum: calculon.EnumOptions{
+			Features:      calculon.FeatureAll,
+			PinBeneficial: true,
+			MaxInterleave: 4,
+		},
+	}
+
+	fmt.Printf("Megatron-1T (batch 256) on %d A100s\n\n", gpus)
+
+	// 1. No offload tier: the model cannot fit at this scale.
+	bare, err := calculon.SearchExecution(m, calculon.A100(gpus), searchOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if bare.Found() {
+		fmt.Printf("without offload: best %.1f samples/s with %v\n",
+			bare.Best.SampleRate, bare.Best.Strategy)
+	} else {
+		fmt.Printf("without offload: NO feasible configuration (%d tried)\n", bare.Evaluated)
+	}
+
+	// 2. Infinite offload tier: read off what the best strategy would
+	//    consume (the §6 requirements probe).
+	inf, err := calculon.SearchExecution(m, calculon.A100(gpus).WithMem2(calculon.InfiniteMem2()), searchOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !inf.Found() {
+		log.Fatal("infinite offload tier found nothing")
+	}
+	fmt.Printf("\ninfinite offload tier: best %.1f samples/s (MFU %.1f%%) with %v\n",
+		inf.Best.SampleRate, 100*inf.Best.MFU, inf.Best.Strategy)
+	fmt.Printf("  HBM used:          %v\n", inf.Best.Mem1.Total())
+	fmt.Printf("  offload capacity:  %v\n", inf.Best.Mem2.Total())
+	fmt.Printf("  offload bandwidth: %v required for seamless overlap (Eq. 1)\n",
+		inf.Best.OffloadBWRequired)
+
+	// 3. Practical tier: 512 GiB at 100 GB/s.
+	ddr, err := calculon.SearchExecution(m, calculon.A100(gpus).WithMem2(calculon.DDR5(512*calculon.GiB)), searchOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ddr.Found() {
+		log.Fatal("512 GiB tier found nothing")
+	}
+	fmt.Printf("\n512 GiB @ 100 GB/s tier: best %.1f samples/s (MFU %.1f%%) with %v\n",
+		ddr.Best.SampleRate, 100*ddr.Best.MFU, ddr.Best.Strategy)
+	fmt.Printf("  HBM used:         %v\n", ddr.Best.Mem1.Total())
+	fmt.Printf("  offload capacity: %v\n", ddr.Best.Mem2.Total())
+	fmt.Printf("  exposed offload:  %v of %v total transfer\n",
+		ddr.Best.Time.OffloadExposed, ddr.Best.Time.OffloadTotal)
+	if inf.Found() {
+		fmt.Printf("  slowdown vs infinite tier: %.1f%%\n",
+			100*(inf.Best.SampleRate/ddr.Best.SampleRate-1))
+	}
+}

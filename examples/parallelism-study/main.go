@@ -1,0 +1,70 @@
+// Parallelism study: the §4.1 trade-off analysis. Sweeps tensor/pipeline/
+// data parallelism splits of Megatron-1T across 4,096 A100s, showing how
+// over-emphasizing any one mode degrades performance, then asks the
+// exhaustive search engine for the true optimum and compares it with the
+// conventional heuristic split.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"calculon"
+)
+
+func main() {
+	m := calculon.MustPreset("megatron-1T").WithBatch(4096)
+
+	fmt.Println("Megatron-1T, batch 4096, on 4096 A100s — TP vs PP at DP=32")
+	fmt.Println("(memory capacity unconstrained so every split is comparable)")
+	fmt.Printf("%-14s %-12s %-10s %-12s %-12s %-10s\n",
+		"split", "batch time", "bubble", "TP exposed", "DP exposed", "mem/GPU")
+	for i := 0; i <= 5; i++ {
+		t := 1 << i
+		p := 128 / t
+		sys := calculon.A100(4096).WithMem1Capacity(1024 * calculon.TiB).WithFastDomain(max(t, 8))
+		st := calculon.Strategy{
+			TP: t, PP: p, DP: 32, Microbatch: 1, Interleave: 1, OneFOneB: true,
+			Recompute: calculon.RecomputeFull, TPRSAG: true, OptimSharding: true,
+		}
+		res, err := calculon.Run(m, sys, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %-12v %-10v %-12v %-12v %-10v\n",
+			fmt.Sprintf("t=%d p=%d", t, p), res.BatchTime, res.Time.PPBubble,
+			res.Time.TPExposed, res.Time.DPExposed, res.Mem1.Total())
+	}
+
+	fmt.Println()
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println("exhaustive search over the full optimization space (80 GiB HBM):")
+	res, err := calculon.SearchExecution(m, calculon.A100(4096), calculon.SearchOptions{
+		Enum: calculon.EnumOptions{
+			Features:      calculon.FeatureAll,
+			PinBeneficial: true,
+			MaxInterleave: 8,
+		},
+		TopK: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluated %d strategies, %d feasible\n", res.Evaluated, res.Feasible)
+	for i, r := range res.Top {
+		fmt.Printf("#%d  %6.1f samples/s  MFU %5.2f%%  %v\n",
+			i+1, r.SampleRate, 100*r.MFU, r.Strategy)
+	}
+
+	heuristic := calculon.Strategy{
+		TP: 8, PP: 64, DP: 8, Microbatch: 1, Interleave: 2, OneFOneB: true,
+		Recompute: calculon.RecomputeFull, TPRSAG: true, OptimSharding: true,
+	}
+	hres, err := calculon.Run(m, calculon.A100(4096), heuristic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconventional heuristic (t=8,p=64,d=8, full recompute): %.1f samples/s\n", hres.SampleRate)
+	fmt.Printf("search-found optimum is %.2f× faster\n", res.Best.SampleRate/hres.SampleRate)
+}

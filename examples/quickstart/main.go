@@ -1,0 +1,50 @@
+// Quickstart: estimate one training configuration — GPT-3 175B on 4,096
+// A100 GPUs split (t,p,d) = (8,64,8), the setup of Fig. 3 of the paper —
+// and print the full time and memory breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calculon"
+)
+
+func main() {
+	m := calculon.MustPreset("gpt3-175B").WithBatch(2048)
+	sys := calculon.A100(4096)
+	strategy := calculon.Strategy{
+		TP: 8, PP: 64, DP: 8,
+		Microbatch: 1, Interleave: 1, OneFOneB: true,
+		Recompute: calculon.RecomputeFull,
+		TPRSAG:    true,
+	}
+
+	res, err := calculon.Run(m, sys, strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model:       %v\n", m)
+	fmt.Printf("system:      %d × A100-80GiB (NVLink 8, IB HDR)\n", sys.Procs)
+	fmt.Printf("strategy:    %v\n", strategy)
+	fmt.Printf("batch time:  %v (%.1f samples/s, MFU %.1f%%)\n\n",
+		res.BatchTime, res.SampleRate, 100*res.MFU)
+
+	fmt.Println("time breakdown:")
+	fmt.Printf("  forward        %v\n", res.Time.FwdPass)
+	fmt.Printf("  backward       %v\n", res.Time.BwdPass)
+	fmt.Printf("  recompute      %v\n", res.Time.Recompute)
+	fmt.Printf("  optimizer      %v\n", res.Time.OptimStep)
+	fmt.Printf("  pipeline bubble %v\n", res.Time.PPBubble)
+	fmt.Printf("  TP comm exposed %v (of %v)\n", res.Time.TPExposed, res.Time.TPComm)
+	fmt.Printf("  PP comm exposed %v\n", res.Time.PPExposed)
+	fmt.Printf("  DP comm exposed %v (of %v)\n\n", res.Time.DPExposed, res.Time.DPComm)
+
+	fmt.Println("HBM per GPU:")
+	fmt.Printf("  weights     %v\n", res.Mem1.Weights)
+	fmt.Printf("  activations %v\n", res.Mem1.Activations)
+	fmt.Printf("  grads       %v\n", res.Mem1.WeightGrads)
+	fmt.Printf("  optimizer   %v\n", res.Mem1.Optimizer)
+	fmt.Printf("  total       %v of %v\n", res.Mem1.Total(), sys.Mem1.Capacity)
+}

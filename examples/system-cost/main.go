@@ -1,0 +1,84 @@
+// System cost study: the §7 budgeted system search (Table 3). Under a fixed
+// budget, evaluates H100 designs that trade HBM3 capacity against a cheap
+// DDR5 offload tier, and reports which design trains each LLM fastest and
+// which gives the best performance per dollar.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calculon"
+)
+
+func main() {
+	// A reduced version of the paper's $125M study so the example finishes
+	// in seconds: a $20M budget (several hundred GPUs per design) and the
+	// GPT-3 175B model.
+	models := []calculon.LLM{calculon.MustPreset("gpt3-175B").WithBatch(1024)}
+
+	evals, err := calculon.SearchBudget(models, calculon.AllDesigns(), calculon.BudgetOptions{
+		Budget:  20e6,
+		Stride:  64,
+		MinFrac: 0.75,
+		Search: calculon.SearchOptions{
+			Enum: calculon.EnumOptions{
+				Features:      calculon.FeatureAll,
+				PinBeneficial: true,
+				MaxInterleave: 4,
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("GPT-3 175B under a $20M budget — 16 H100 designs (HBM3 × DDR5):")
+	fmt.Printf("%-8s %-8s %-9s %-9s %-8s %-12s %-10s\n",
+		"HBM3", "DDR5", "$/GPU", "max GPUs", "GPUs", "samples/s", "perf/$M")
+	var bestPerf, bestValue *row
+	for _, ev := range evals {
+		mr := ev.PerModel[0]
+		r := row{
+			hbm: ev.Design.HBM.Capacity.String(), ddr: "-",
+			price: ev.UnitPrice, maxGPUs: ev.MaxGPUs,
+		}
+		if ev.Design.DDR.Capacity > 0 {
+			r.ddr = ev.Design.DDR.Capacity.String()
+		}
+		price := fmt.Sprintf("$%.1fk", r.price/1e3)
+		if mr.Found {
+			r.gpus, r.rate, r.value = mr.GPUs, mr.SampleRate, mr.PerfPerMDollar
+			fmt.Printf("%-8s %-8s %-9s %-9d %-8d %-12.0f %-10.0f\n",
+				r.hbm, r.ddr, price, r.maxGPUs, r.gpus, r.rate, r.value)
+		} else {
+			fmt.Printf("%-8s %-8s %-9s %-9d %-8s %-12s %-10s\n",
+				r.hbm, r.ddr, price, r.maxGPUs, "—", "—", "—")
+			continue
+		}
+		rc := r
+		if bestPerf == nil || rc.rate > bestPerf.rate {
+			bestPerf = &rc
+		}
+		if bestValue == nil || rc.value > bestValue.value {
+			bestValue = &rc
+		}
+	}
+	if bestPerf != nil {
+		fmt.Printf("\nfastest design:      %s HBM3 + %s DDR5 (%.0f samples/s on %d GPUs)\n",
+			bestPerf.hbm, bestPerf.ddr, bestPerf.rate, bestPerf.gpus)
+	}
+	if bestValue != nil {
+		fmt.Printf("best perf per $M:    %s HBM3 + %s DDR5 (%.0f samples/s per $M)\n",
+			bestValue.hbm, bestValue.ddr, bestValue.value)
+	}
+	fmt.Println("\n(the paper's $125M study is `calculon study table3 -full`)")
+}
+
+type row struct {
+	hbm, ddr    string
+	price       float64
+	maxGPUs     int
+	gpus        int
+	rate, value float64
+}

@@ -1,0 +1,3 @@
+module calculon
+
+go 1.22

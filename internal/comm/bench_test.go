@@ -1,0 +1,17 @@
+package comm
+
+import (
+	"testing"
+
+	"calculon/internal/system"
+)
+
+// BenchmarkAllReduce measures one collective pricing — called four times
+// per block per evaluation.
+func BenchmarkAllReduce(b *testing.B) {
+	n := system.A100(64).Networks[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Time(n, AllReduce, 8, 100e6)
+	}
+}

@@ -1,0 +1,116 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calculon/internal/model"
+	"calculon/internal/perf"
+	"calculon/internal/system"
+)
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestShippedScenariosResolveAndRun loads every JSON scenario asset in
+// configs/scenarios, resolves it, and runs the performance model on it.
+func TestShippedScenariosResolveAndRun(t *testing.T) {
+	dir := filepath.Join(repoRoot(t), "configs", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected ≥3 shipped scenarios, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		sc, err := Load[Scenario](path)
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		m, sys, st, err := sc.Resolve()
+		if err != nil {
+			t.Errorf("%s: resolve: %v", e.Name(), err)
+			continue
+		}
+		res, err := perf.Run(m, sys, st)
+		if err != nil {
+			t.Errorf("%s: run: %v", e.Name(), err)
+			continue
+		}
+		if res.BatchTime <= 0 || res.SampleRate <= 0 {
+			t.Errorf("%s: implausible result %v", e.Name(), res)
+		}
+	}
+}
+
+// TestShippedSystemsValidate loads every system asset.
+func TestShippedSystemsValidate(t *testing.T) {
+	dir := filepath.Join(repoRoot(t), "configs", "systems")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		s, err := Load[system.System](filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+	}
+}
+
+// TestShippedModelsMatchPresets loads every model asset and checks it is
+// identical to the in-code preset of the same name.
+func TestShippedModelsMatchPresets(t *testing.T) {
+	dir := filepath.Join(repoRoot(t), "configs", "models")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(model.PresetNames()) {
+		t.Errorf("configs/models has %d files, presets %d — regenerate the assets",
+			len(entries), len(model.PresetNames()))
+	}
+	for _, e := range entries {
+		m, err := Load[model.LLM](filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		want, err := model.Preset(m.Name)
+		if err != nil {
+			t.Errorf("%s: unknown preset %q", e.Name(), m.Name)
+			continue
+		}
+		if m != want {
+			t.Errorf("%s: asset diverges from preset:\n asset %+v\npreset %+v", e.Name(), m, want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/search"
+	"calculon/internal/units"
+)
+
+// TestUnitPricesMatchTable3 pins the per-GPU prices of the paper's "Price"
+// column for all 16 designs.
+func TestUnitPricesMatchTable3(t *testing.T) {
+	want := map[string]float64{
+		"20GiB+0":       22_250,
+		"40GiB+0":       25_000,
+		"80GiB+0":       30_000,
+		"120GiB+0":      40_000,
+		"20GiB+256GiB":  24_750,
+		"40GiB+256GiB":  27_500,
+		"80GiB+256GiB":  32_500,
+		"120GiB+256GiB": 42_500,
+		"20GiB+512GiB":  32_250,
+		"40GiB+512GiB":  35_000,
+		"80GiB+512GiB":  40_000,
+		"120GiB+512GiB": 50_000,
+		"20GiB+1TiB":    42_250,
+		"40GiB+1TiB":    45_000,
+		"80GiB+1TiB":    50_000,
+		"120GiB+1TiB":   60_000,
+	}
+	if len(AllDesigns()) != 16 {
+		t.Fatalf("want 16 designs, got %d", len(AllDesigns()))
+	}
+	for _, d := range AllDesigns() {
+		key := d.HBM.Capacity.String() + "+" + ddrKey(d)
+		if got := d.UnitPrice(); got != want[key] {
+			t.Errorf("%s price = %.0f, want %.0f", key, got, want[key])
+		}
+	}
+}
+
+func ddrKey(d Design) string {
+	if d.DDR.Capacity == 0 {
+		return "0"
+	}
+	return d.DDR.Capacity.String()
+}
+
+// TestMaxGPUsMatchTable3 pins the "Max GPUs" column of Table 3.
+func TestMaxGPUsMatchTable3(t *testing.T) {
+	cases := []struct {
+		hbm, ddr units.Bytes
+		want     int
+	}{
+		{20 * units.GiB, 0, 5616},
+		{40 * units.GiB, 0, 5000},
+		{80 * units.GiB, 0, 4160},
+		{120 * units.GiB, 0, 3120},
+		{20 * units.GiB, 256 * units.GiB, 5048},
+		{40 * units.GiB, 256 * units.GiB, 4544},
+		{80 * units.GiB, 256 * units.GiB, 3840},
+		{120 * units.GiB, 256 * units.GiB, 2936},
+		{20 * units.GiB, 512 * units.GiB, 3872},
+		{40 * units.GiB, 512 * units.GiB, 3568},
+		{80 * units.GiB, 512 * units.GiB, 3120},
+		{120 * units.GiB, 512 * units.GiB, 2496},
+		{20 * units.GiB, 1 * units.TiB, 2952},
+		{40 * units.GiB, 1 * units.TiB, 2776},
+		{80 * units.GiB, 1 * units.TiB, 2496},
+		{120 * units.GiB, 1 * units.TiB, 2080},
+	}
+	for _, c := range cases {
+		d := design(c.hbm, c.ddr)
+		if got := d.MaxGPUs(125e6); got != c.want {
+			t.Errorf("%v: MaxGPUs = %d, want %d", d, got, c.want)
+		}
+	}
+}
+
+func design(hbm, ddr units.Bytes) Design {
+	var d Design
+	for _, h := range HBMOptions {
+		if h.Capacity == hbm {
+			d.HBM = h
+		}
+	}
+	for _, o := range DDROptions {
+		if o.Capacity == ddr {
+			d.DDR = o
+		}
+	}
+	return d
+}
+
+func TestDesignSystemCarriesMemories(t *testing.T) {
+	d := design(40*units.GiB, 256*units.GiB)
+	s := d.System(64)
+	if s.Mem1.Capacity != 40*units.GiB {
+		t.Errorf("mem1 = %v", s.Mem1.Capacity)
+	}
+	if !s.Mem2.Present() || s.Mem2.Capacity != 256*units.GiB {
+		t.Errorf("mem2 = %+v", s.Mem2)
+	}
+	bare := design(40*units.GiB, 0).System(64)
+	if bare.Mem2.Present() {
+		t.Error("no-DDR design must have no mem2")
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	if got := design(40*units.GiB, 0).String(); got != "40GiB HBM3" {
+		t.Errorf("String = %q", got)
+	}
+	if got := design(40*units.GiB, 512*units.GiB).String(); got != "40GiB HBM3 + 512GiB DDR5" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestBudgetSearchSmall runs a miniature §7 sweep (small budget and model)
+// and checks structural invariants: bigger budgets never hurt, offload
+// designs can run models that bare designs cannot.
+func TestBudgetSearchSmall(t *testing.T) {
+	m := model.MustPreset("gpt3-13B").WithBatch(32)
+	designs := []Design{
+		design(80*units.GiB, 0),
+		design(40*units.GiB, 256*units.GiB),
+	}
+	opts := SweepOptions{
+		Budget:  2e6, // ~60-70 GPUs
+		Stride:  16,
+		MinFrac: 0.7,
+		Search: search.Options{
+			Enum: execution.EnumOptions{Features: execution.FeatureSeqPar, MaxInterleave: 2},
+		},
+	}
+	evals, err := BudgetSearch([]model.LLM{m}, designs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 2 {
+		t.Fatalf("got %d evaluations", len(evals))
+	}
+	for _, ev := range evals {
+		if len(ev.PerModel) != 1 {
+			t.Fatalf("per-model size %d", len(ev.PerModel))
+		}
+		mr := ev.PerModel[0]
+		if !mr.Found {
+			t.Fatalf("%v found nothing", ev.Design)
+		}
+		if mr.GPUs > ev.MaxGPUs || mr.GPUs%8 != 0 {
+			t.Errorf("%v picked %d GPUs (cap %d)", ev.Design, mr.GPUs, ev.MaxGPUs)
+		}
+		wantPPM := mr.SampleRate / (float64(mr.GPUs) * ev.UnitPrice / 1e6)
+		if math.Abs(mr.PerfPerMDollar-wantPPM)/wantPPM > 1e-9 {
+			t.Errorf("perf/$M inconsistent: %f vs %f", mr.PerfPerMDollar, wantPPM)
+		}
+	}
+	ev, mr, ok := BestByPerf(evals, m.Name)
+	if !ok {
+		t.Fatal("BestByPerf found nothing")
+	}
+	for _, e := range evals {
+		if e.PerModel[0].SampleRate > mr.SampleRate {
+			t.Errorf("BestByPerf missed better design %v", e.Design)
+		}
+	}
+	_ = ev
+}
+
+func TestBestByPerfEmpty(t *testing.T) {
+	if _, _, ok := BestByPerf(nil, "x"); ok {
+		t.Error("empty evals must report not found")
+	}
+}
+
+func TestSweepOptionsDefaults(t *testing.T) {
+	o := SweepOptions{}.normalize()
+	if o.Budget != 125e6 || o.Stride != 8 || o.MinFrac != 0.5 {
+		t.Errorf("defaults = %+v", o)
+	}
+}

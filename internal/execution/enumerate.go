@@ -1,0 +1,269 @@
+package execution
+
+import (
+	"fmt"
+
+	"calculon/internal/model"
+)
+
+// FeatureSet names a family of allowed optimizations, mirroring the paper's
+// study variants (Fig. 5): the original Megatron set, the sequence-parallel
+// set, and the full Table 1 space.
+type FeatureSet string
+
+const (
+	// FeatureBaseline is the original Megatron optimization set [29]:
+	// microbatching, 1F1B, interleaving, full-or-no recompute, TP RS+AG.
+	FeatureBaseline FeatureSet = "baseline"
+	// FeatureSeqPar adds sequence parallelism with selective (attention)
+	// recompute and TP-redo [20].
+	FeatureSeqPar FeatureSet = "seqpar"
+	// FeatureAll is every compatible technique from Table 1: optimizer
+	// sharding, TP/DP communication overlap, fused layers, PP RS+AG, and —
+	// when the system has a second memory tier — tensor offloading.
+	FeatureAll FeatureSet = "all"
+)
+
+// Valid reports whether the set is one of the defined constants.
+func (f FeatureSet) Valid() bool {
+	switch f {
+	case FeatureBaseline, FeatureSeqPar, FeatureAll:
+		return true
+	}
+	return false
+}
+
+// EnumOptions bounds strategy enumeration.
+type EnumOptions struct {
+	// Procs is the exact number of processors every strategy must occupy.
+	Procs int
+	// Features selects which optimization toggles are explored.
+	Features FeatureSet
+	// HasMem2 permits the offload switches.
+	HasMem2 bool
+	// MaxTP caps the tensor-parallel degree (e.g. 32 in §4.1 where the
+	// NVLink domain is stretched to the TP degree). Zero means no cap
+	// beyond the model's head count.
+	MaxTP int
+	// MaxInterleave caps the interleaving factor explored. Zero means up to
+	// the per-processor block count (divisor values only).
+	MaxInterleave int
+	// FixedTP/FixedPP/FixedDP pin a degree when nonzero (grid studies).
+	FixedTP, FixedPP, FixedDP int
+	// MicrobatchDivisorsOnly restricts m to divisors of the per-pipeline
+	// batch; this is always true (non-divisors are infeasible) and the field
+	// exists for documentation.
+	MicrobatchDivisorsOnly bool
+	// PinBeneficial fixes the toggles that are monotonically beneficial
+	// under the performance model (1F1B, fused layers, DP overlap, ring TP
+	// overlap, optimizer sharding) instead of enumerating both settings.
+	// This shrinks large sweeps by ~50× without changing the optimum; the
+	// non-monotone trade-offs (recompute, sequence parallelism, offload,
+	// microbatch, interleaving) are still explored exhaustively.
+	PinBeneficial bool
+}
+
+// divisors returns the sorted divisors of n.
+func divisors(n int) []int {
+	var small, large []int
+	for i := 1; i*i <= n; i++ {
+		if n%i == 0 {
+			small = append(small, i)
+			if j := n / i; j != i {
+				large = append(large, j)
+			}
+		}
+	}
+	for i := len(large) - 1; i >= 0; i-- {
+		small = append(small, large[i])
+	}
+	return small
+}
+
+// Triples enumerates every (t,p,d) with t·p·d = procs that satisfies the
+// model's structural constraints: t ≤ heads (and ≤ MaxTP when set),
+// p ≤ blocks, d | batch. Degrees pinned in the options are respected.
+func (o EnumOptions) Triples(m model.LLM) [][3]int {
+	var out [][3]int
+	maxTP := m.AttnHeads
+	if o.MaxTP > 0 && o.MaxTP < maxTP {
+		maxTP = o.MaxTP
+	}
+	for _, t := range divisors(o.Procs) {
+		if t > maxTP || (o.FixedTP != 0 && t != o.FixedTP) {
+			continue
+		}
+		rest := o.Procs / t
+		for _, p := range divisors(rest) {
+			if p > m.Blocks || (o.FixedPP != 0 && p != o.FixedPP) {
+				continue
+			}
+			d := rest / p
+			if d > m.Batch || m.Batch%d != 0 {
+				continue
+			}
+			if o.FixedDP != 0 && d != o.FixedDP {
+				continue
+			}
+			out = append(out, [3]int{t, p, d})
+		}
+	}
+	return out
+}
+
+// Enumerate streams every strategy permitted by the options for the given
+// model through yield; returning false from yield stops the enumeration.
+// The count of generated strategies is returned.
+func (o EnumOptions) Enumerate(m model.LLM, yield func(Strategy) bool) int {
+	count := 0
+	emit := func(s Strategy) bool {
+		count++
+		return yield(s)
+	}
+	for _, tpd := range o.Triples(m) {
+		t, p, d := tpd[0], tpd[1], tpd[2]
+		perPipe := m.Batch / d
+		base := Strategy{TP: t, PP: p, DP: d}
+		for _, mb := range divisors(perPipe) {
+			s1 := base
+			s1.Microbatch = mb
+			if !o.forEachSchedule(m, s1, func(s2 Strategy) bool {
+				return o.forEachToggle(s2, emit)
+			}) {
+				return count
+			}
+		}
+	}
+	return count
+}
+
+// forEachSchedule enumerates pipeline schedule variants (1F1B on/off,
+// interleave factors).
+func (o EnumOptions) forEachSchedule(m model.LLM, s Strategy, yield func(Strategy) bool) bool {
+	if !o.PinBeneficial {
+		// Plain GPipe-like schedule (only sensible without interleaving).
+		plain := s
+		plain.OneFOneB = false
+		plain.Interleave = 1
+		if !yield(plain) {
+			return false
+		}
+	}
+	// 1F1B with every divisor interleaving of the per-proc block count.
+	bp := s.BlocksPerProc(m)
+	for _, v := range divisors(bp) {
+		if o.MaxInterleave > 0 && v > o.MaxInterleave {
+			break
+		}
+		if v > 1 && s.PP == 1 {
+			break
+		}
+		ofb := s
+		ofb.OneFOneB = true
+		ofb.Interleave = v
+		if !yield(ofb) {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachToggle enumerates the optimization switches consistent with the
+// feature set and the validation rules.
+func (o EnumOptions) forEachToggle(s Strategy, yield func(Strategy) bool) bool {
+	type commCombo struct {
+		rsag, sp, redo, pprsag bool
+	}
+	var comms []commCombo
+	recomputes := []RecomputeMode{RecomputeNone, RecomputeFull}
+	tpOverlaps := []TPOverlapMode{TPOverlapNone}
+	dpOverlaps := []bool{false}
+	shards := []bool{false}
+	fused := []bool{false}
+	switch o.Features {
+	case FeatureBaseline:
+		comms = []commCombo{{}, {rsag: true}}
+	case FeatureSeqPar:
+		recomputes = []RecomputeMode{RecomputeNone, RecomputeAttn, RecomputeFull}
+		comms = []commCombo{
+			{}, {rsag: true},
+			{rsag: true, sp: true}, {rsag: true, sp: true, redo: true},
+		}
+	default: // FeatureAll
+		recomputes = []RecomputeMode{RecomputeNone, RecomputeAttn, RecomputeFull}
+		comms = []commCombo{
+			{}, {rsag: true}, {rsag: true, pprsag: true},
+			{rsag: true, sp: true}, {rsag: true, sp: true, redo: true},
+			{rsag: true, sp: true, pprsag: true}, {rsag: true, sp: true, redo: true, pprsag: true},
+		}
+		tpOverlaps = []TPOverlapMode{TPOverlapNone, TPOverlapPipe, TPOverlapRing}
+		dpOverlaps = []bool{false, true}
+		shards = []bool{false, true}
+		fused = []bool{false, true}
+	}
+	if o.PinBeneficial {
+		tpOverlaps = tpOverlaps[len(tpOverlaps)-1:]
+		dpOverlaps = dpOverlaps[len(dpOverlaps)-1:]
+		shards = shards[len(shards)-1:]
+		fused = fused[len(fused)-1:]
+	}
+	offloads := [][3]bool{{false, false, false}}
+	if o.HasMem2 && o.Features == FeatureAll {
+		offloads = nil
+		for w := 0; w < 2; w++ {
+			for a := 0; a < 2; a++ {
+				for op := 0; op < 2; op++ {
+					offloads = append(offloads, [3]bool{w == 1, a == 1, op == 1})
+				}
+			}
+		}
+	}
+	for _, rc := range recomputes {
+		for _, cc := range comms {
+			for _, ov := range tpOverlaps {
+				for _, dov := range dpOverlaps {
+					for _, sh := range shards {
+						for _, fu := range fused {
+							for _, off := range offloads {
+								v := s
+								v.Recompute = rc
+								v.TPRSAG = cc.rsag
+								v.SeqParallel = cc.sp
+								v.TPRedoForSP = cc.redo
+								v.PPRSAG = cc.pprsag
+								v.TPOverlap = ov
+								v.DPOverlap = dov
+								v.OptimSharding = sh
+								v.FusedLayers = fu
+								v.WeightOffload = off[0]
+								v.ActOffload = off[1]
+								v.OptimOffload = off[2]
+								if !yield(v) {
+									return false
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SpaceSize counts the strategies Enumerate would generate without invoking
+// a consumer, for reporting search-space sizes as in Fig. 6.
+func (o EnumOptions) SpaceSize(m model.LLM) int {
+	return o.Enumerate(m, func(Strategy) bool { return true })
+}
+
+// Validate checks the options themselves.
+func (o EnumOptions) Validate() error {
+	if o.Procs <= 0 {
+		return fmt.Errorf("execution: enum procs must be positive, got %d", o.Procs)
+	}
+	if o.Features != "" && !o.Features.Valid() {
+		return fmt.Errorf("execution: bad feature set %q", o.Features)
+	}
+	return nil
+}

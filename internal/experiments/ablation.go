@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/perf"
+	"calculon/internal/report"
+	"calculon/internal/system"
+	"calculon/internal/units"
+)
+
+// AblationRow quantifies one Table 1 optimization: the change in batch
+// time, first-tier memory, and exposed network time when the technique is
+// applied to the reference configuration.
+type AblationRow struct {
+	Name         string
+	TimeDeltaPct float64 // negative = faster
+	MemDeltaPct  float64 // negative = less memory
+	NetDeltaPct  float64 // negative = less exposed network time
+}
+
+// Table1Ablation quantifies every optimization family of Table 1 on a
+// reference point: Megatron-1T, batch 4,096, on 4,096 A100s at
+// (t,p,d) = (8,16,32) with unconstrained memory (so that memory-hungry
+// settings remain comparable). Each row flips or increases exactly one
+// technique relative to the reference.
+func Table1Ablation() ([]AblationRow, error) {
+	m := model.MustPreset("megatron-1T").WithBatch(4096)
+	sys := system.A100(4096).WithMem1Capacity(units.UnboundedBytes).
+		WithMem2(system.Memory{Capacity: units.UnboundedBytes, Bandwidth: 100e9})
+
+	base := execution.Strategy{
+		TP: 8, PP: 16, DP: 32, Microbatch: 1, Interleave: 1, OneFOneB: true,
+		Recompute: execution.RecomputeNone,
+	}
+	ref, err := perf.Run(m, sys, base)
+	if err != nil {
+		return nil, fmt.Errorf("table1 reference: %w", err)
+	}
+
+	mods := []struct {
+		name string
+		mut  func(execution.Strategy) execution.Strategy
+	}{
+		{"Data parallelism 32→64 (PP 16→8)", func(s execution.Strategy) execution.Strategy {
+			s.DP, s.PP = 64, 8
+			return s
+		}},
+		{"DP overlap", func(s execution.Strategy) execution.Strategy { s.DPOverlap = true; return s }},
+		{"Optimizer sharding", func(s execution.Strategy) execution.Strategy { s.OptimSharding = true; return s }},
+		{"Recompute full", func(s execution.Strategy) execution.Strategy { s.Recompute = execution.RecomputeFull; return s }},
+		{"Recompute attn", func(s execution.Strategy) execution.Strategy { s.Recompute = execution.RecomputeAttn; return s }},
+		{"Fused layers", func(s execution.Strategy) execution.Strategy { s.FusedLayers = true; return s }},
+		{"Microbatch 1→4", func(s execution.Strategy) execution.Strategy { s.Microbatch = 4; return s }},
+		{"Pipeline parallelism 16→32 (DP 32→16)", func(s execution.Strategy) execution.Strategy {
+			s.PP, s.DP = 32, 16
+			return s
+		}},
+		{"GPipe schedule (1F1B off)", func(s execution.Strategy) execution.Strategy { s.OneFOneB = false; return s }},
+		{"PP interleaving 1→4", func(s execution.Strategy) execution.Strategy { s.Interleave = 4; return s }},
+		{"PP RS+AG", func(s execution.Strategy) execution.Strategy { s.TPRSAG, s.PPRSAG = true, true; return s }},
+		{"Tensor parallelism 8→16 (DP 32→16)", func(s execution.Strategy) execution.Strategy {
+			s.TP, s.DP = 16, 16
+			return s
+		}},
+		{"TP RS+AG instead of AR", func(s execution.Strategy) execution.Strategy { s.TPRSAG = true; return s }},
+		{"Sequence parallelism", func(s execution.Strategy) execution.Strategy {
+			s.TPRSAG, s.SeqParallel = true, true
+			return s
+		}},
+		{"TP redo for SP", func(s execution.Strategy) execution.Strategy {
+			s.TPRSAG, s.SeqParallel, s.TPRedoForSP = true, true, true
+			return s
+		}},
+		{"TP overlap (ring)", func(s execution.Strategy) execution.Strategy { s.TPOverlap = execution.TPOverlapRing; return s }},
+		{"Weight offload", func(s execution.Strategy) execution.Strategy { s.WeightOffload = true; return s }},
+		{"Activation offload", func(s execution.Strategy) execution.Strategy { s.ActOffload = true; return s }},
+		{"Optimizer offload", func(s execution.Strategy) execution.Strategy { s.OptimOffload = true; return s }},
+	}
+
+	var rows []AblationRow
+	for _, mod := range mods {
+		r, err := perf.Run(m, sys, mod.mut(base))
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", mod.name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name:         mod.name,
+			TimeDeltaPct: pct(float64(r.BatchTime), float64(ref.BatchTime)),
+			MemDeltaPct:  pct(float64(r.Mem1.Total()), float64(ref.Mem1.Total())),
+			NetDeltaPct:  pct(netExposed(r), netExposed(ref)),
+		})
+	}
+	return rows, nil
+}
+
+func netExposed(r perf.Result) float64 {
+	return float64(r.Time.TPExposed + r.Time.PPExposed + r.Time.DPExposed)
+}
+
+func pct(v, ref float64) float64 {
+	if ref == 0 {
+		if v == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (v - ref) / ref
+}
+
+// RenderTable1 writes the ablation rows as a table of percentage deltas.
+func RenderTable1(w io.Writer, rows []AblationRow) {
+	table := [][]string{{"optimization", "Δ batch time", "Δ mem1", "Δ exposed net"}}
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Name,
+			fmt.Sprintf("%+.1f%%", r.TimeDeltaPct),
+			fmt.Sprintf("%+.1f%%", r.MemDeltaPct),
+			fmt.Sprintf("%+.1f%%", r.NetDeltaPct),
+		})
+	}
+	report.Table(w, table)
+}

@@ -1,0 +1,62 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: Table 2 (validation), Table 3 (budgeted system search),
+// Table 4 / Fig. 12 (strategy comparison), Fig. 3 (single-run breakdown),
+// Fig. 4 (parallelization analysis), Fig. 5 (optimization grids), Fig. 6
+// (search-space statistics), Figs. 7/10/11 (scaling with and without
+// offload), and Fig. 9 (offload requirements). Each experiment is a plain
+// function shared by the CLI (`calculon study …`) and the benchmark
+// harness in the repository root.
+package experiments
+
+import (
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/search"
+	"calculon/internal/system"
+)
+
+// Scale selects the experiment fidelity: ScaleFull reproduces the paper's
+// exact sweep sizes (minutes of CPU time for the largest studies);
+// ScaleSmall runs a reduced but shape-preserving version suitable for tests
+// and benchmarks.
+type Scale int
+
+const (
+	// ScaleSmall runs reduced sweeps (seconds).
+	ScaleSmall Scale = iota
+	// ScaleFull runs the paper-sized sweeps (minutes).
+	ScaleFull
+)
+
+// studyModels returns the three LLMs of the §5–§7 studies with the global
+// batch used throughout (4,096 samples, §4.1).
+func studyModels() []model.LLM {
+	return []model.LLM{
+		model.MustPreset("gpt3-175B").WithBatch(4096),
+		model.MustPreset("turing-530B").WithBatch(4096),
+		model.MustPreset("megatron-1T").WithBatch(4096),
+	}
+}
+
+// sweepOptions is the shared search configuration of the big sweeps: the
+// full non-monotone trade-off space with the always-beneficial toggles
+// pinned (see execution.EnumOptions.PinBeneficial).
+func sweepOptions(features execution.FeatureSet, maxInterleave int) search.Options {
+	return search.Options{
+		Enum: execution.EnumOptions{
+			Features:      features,
+			MaxInterleave: maxInterleave,
+			PinBeneficial: true,
+		},
+	}
+}
+
+// a100At is the Fig. 7 system constructor: Selene-like A100 machines.
+func a100At(n int) system.System { return system.A100(n) }
+
+// a100OffloadAt adds the §6 offload tier: 512 GiB DDR at 100 GB/s.
+func a100OffloadAt(n int) system.System {
+	return system.A100(n).WithMem2(system.DDR5(512 * gib))
+}
+
+const gib = 1 << 30

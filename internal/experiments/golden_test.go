@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calculon/internal/report"
+)
+
+// golden compares rendered output against a checked-in file; regenerate
+// with `go run ./cmd/calculon study <id> > internal/experiments/testdata/<id>.golden`
+// after an intentional model change.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s: %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output changed; if intentional, regenerate the golden file.\n--- got ---\n%s--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestTable2Golden pins the exact validation table — the repository's
+// primary regression guard: any change to the performance model that moves
+// a prediction shows up here first.
+func TestTable2Golden(t *testing.T) {
+	rows, err := Table2Validation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	RenderTable2(&b, rows)
+	golden(t, "table2", b.String())
+}
+
+// TestFig3Golden pins the Fig. 3 breakdown rendering.
+func TestFig3Golden(t *testing.T) {
+	res, err := Fig3Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	report.Breakdown(&b, res)
+	golden(t, "fig3", b.String())
+}

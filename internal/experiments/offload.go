@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/report"
+	"calculon/internal/search"
+	"calculon/internal/system"
+	"calculon/internal/units"
+)
+
+// Fig9Cell is one (t,p) entry of the §6 offload study: the best
+// configuration's sample rate, HBM usage, and offload-tier requirements.
+type Fig9Cell struct {
+	T, P      int
+	Found     bool
+	Rate      float64
+	HBM       units.Bytes
+	OffloadBW units.BytesPerSec
+	OffloadGB units.Bytes
+}
+
+// Fig9Grid is one panel pair of Fig. 9 ((a,b) or (c,d)).
+type Fig9Grid struct {
+	Title  string
+	Ts, Ps []int
+	Cells  map[[2]int]Fig9Cell
+}
+
+// Fig9Offload reproduces the §6 tensor-offloading study: Megatron-1T on
+// 4,096 H100-80GiB GPUs with a second memory tier. With infinite=true the
+// tier has unbounded capacity and bandwidth and the model reports what the
+// best configurations would consume (panels a/b); otherwise the tier is the
+// practical 512 GiB at 100 GB/s (panels c/d).
+func Fig9Offload(infinite bool, scale Scale) (Fig9Grid, error) {
+	m := model.MustPreset("megatron-1T").WithBatch(4096)
+	tier := system.DDR5(512 * units.GiB)
+	title := "Fig. 9(c,d) — 512 GiB @ 100 GB/s offload memory"
+	if infinite {
+		tier = system.InfiniteMem2()
+		title = "Fig. 9(a,b) — infinite offload memory"
+	}
+	grid := Fig9Grid{
+		Title: title,
+		Ts:    []int{1, 2, 4, 8, 16, 32},
+		Ps:    []int{1, 2, 4, 8, 16, 32},
+		Cells: map[[2]int]Fig9Cell{},
+	}
+	if scale == ScaleSmall {
+		grid.Ts = []int{1, 8, 32}
+		grid.Ps = []int{1, 8, 32}
+	}
+	for _, t := range grid.Ts {
+		for _, p := range grid.Ps {
+			d := 4096 / (t * p)
+			sys := system.H100(4096, 80*units.GiB, 0).WithMem2(tier).WithFastDomain(maxOf(t, 8))
+			opts := sweepOptions(execution.FeatureAll, 8)
+			opts.Enum.Procs = 4096
+			opts.Enum.FixedTP, opts.Enum.FixedPP, opts.Enum.FixedDP = t, p, d
+			res, err := search.Execution(m, sys, opts)
+			if err != nil {
+				return grid, fmt.Errorf("fig9 t=%d p=%d: %w", t, p, err)
+			}
+			cell := Fig9Cell{T: t, P: p}
+			if res.Found() {
+				cell.Found = true
+				cell.Rate = res.Best.SampleRate
+				cell.HBM = res.Best.Mem1.Total()
+				cell.OffloadBW = res.Best.OffloadBWUsed
+				cell.OffloadGB = res.Best.Mem2.Total()
+			}
+			grid.Cells[[2]int{t, p}] = cell
+		}
+	}
+	return grid, nil
+}
+
+// RenderFig9 writes both grids of a panel pair: sample rate over HBM usage
+// (a/c) and offload bandwidth over offload capacity (b/d).
+func RenderFig9(w io.Writer, g Fig9Grid) {
+	report.Grid(w, g.Title+": sample rate over HBM use", g.Ts, g.Ps, func(t, p int) report.GridCell {
+		c := g.Cells[[2]int{t, p}]
+		if !c.Found {
+			return report.GridCell{}
+		}
+		return report.GridCell{
+			Top:    fmt.Sprintf("%.0f", c.Rate),
+			Bottom: c.HBM.String(),
+			OK:     true,
+		}
+	})
+	report.Grid(w, g.Title+": offload bandwidth over capacity", g.Ts, g.Ps, func(t, p int) report.GridCell {
+		c := g.Cells[[2]int{t, p}]
+		if !c.Found {
+			return report.GridCell{}
+		}
+		return report.GridCell{
+			Top:    c.OffloadBW.String(),
+			Bottom: c.OffloadGB.SI(),
+			OK:     true,
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/perf"
+	"calculon/internal/pipesim"
+	"calculon/internal/system"
+)
+
+// Fig2Schedule reproduces Fig. 2: the interleaved 1F1B pipeline schedule,
+// rendered as a per-stage timeline from the discrete simulator using chunk
+// times derived from the real performance model (GPT-3 175B, t=8, p=4,
+// interleave 2, six microbatches — the shape of the paper's figure).
+func Fig2Schedule(w io.Writer) error {
+	m := model.MustPreset("gpt3-175B").WithBatch(48)
+	sys := system.A100(64)
+	st := execution.Strategy{
+		TP: 8, PP: 4, DP: 2, Microbatch: 4, Interleave: 2, OneFOneB: true,
+		Recompute: execution.RecomputeNone, TPRSAG: true,
+	}
+	params, err := perf.PipelineParams(m, sys, st)
+	if err != nil {
+		return fmt.Errorf("fig2: %w", err)
+	}
+	fmt.Fprintln(w, "Fig. 2 — interleaved 1F1B schedule (GPT-3 175B, t=8, p=4, v=2, n=6)")
+	if err := pipesim.RenderTimeline(w, params, 150); err != nil {
+		return fmt.Errorf("fig2: %w", err)
+	}
+	fmt.Fprintln(w, "\nfor contrast, the same pipeline without interleaving (v=1):")
+	flat := params
+	flat.Chunks = 1
+	flat.FwdChunk *= 2
+	flat.BwdChunk *= 2
+	if err := pipesim.RenderTimeline(w, flat, 150); err != nil {
+		return fmt.Errorf("fig2: %w", err)
+	}
+	fmt.Fprintln(w, "\nand the GPipe-style schedule (all forwards, then all backwards):")
+	gp := flat
+	gp.Schedule = pipesim.GPipe
+	if err := pipesim.RenderTimeline(w, gp, 150); err != nil {
+		return fmt.Errorf("fig2: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/perf"
+	"calculon/internal/report"
+	"calculon/internal/search"
+	"calculon/internal/system"
+)
+
+// SeqScalePoint is one sequence length of the long-context extension study.
+type SeqScalePoint struct {
+	Seq   int
+	Found bool
+	Best  perf.Result
+	// AttnShare is the fraction of a block's matrix FLOPs in the s²
+	// attention terms: s/(6h+s) — the quantity that reshapes the optimal
+	// execution as context grows.
+	AttnShare float64
+	// TokensPerSec normalizes throughput across sequence lengths.
+	TokensPerSec float64
+}
+
+// SeqScale is an extension beyond the paper's evaluation (its §8 invites
+// "future exploration"): long-context training. It sweeps the sequence
+// length at a constant token budget per batch on a fixed 512-GPU A100
+// system, running the full execution search at each length. As s grows the
+// 5·a·s²·b activation term and the s² attention FLOPs dominate, pushing the
+// optimum toward selective recomputation and more tensor parallelism — the
+// codesign question the paper's methodology is built to answer.
+func SeqScale(scale Scale) ([]SeqScalePoint, error) {
+	seqs := []int{2048, 8192, 32768}
+	if scale == ScaleFull {
+		seqs = []int{2048, 4096, 8192, 16384, 32768, 65536}
+	}
+	const tokensPerBatch = 2048 * 2048
+	base := model.MustPreset("gpt3-175B")
+	sys := system.A100(512)
+	var out []SeqScalePoint
+	for _, s := range seqs {
+		m := base
+		m.Seq = s
+		m.Batch = tokensPerBatch / s
+		if m.Batch < 1 {
+			m.Batch = 1
+		}
+		m.Name = fmt.Sprintf("gpt3-175B-s%d", s)
+		res, err := search.Execution(m, sys, sweepOptions(execution.FeatureAll, 4))
+		if err != nil {
+			return nil, fmt.Errorf("seqscale s=%d: %w", s, err)
+		}
+		p := SeqScalePoint{
+			Seq:       s,
+			AttnShare: float64(s) / float64(6*m.Hidden+s),
+		}
+		if res.Found() {
+			p.Found = true
+			p.Best = res.Best
+			p.TokensPerSec = res.Best.SampleRate * float64(s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderSeqScale writes the long-context table.
+func RenderSeqScale(w io.Writer, pts []SeqScalePoint) {
+	fmt.Fprintln(w, "Extension — long-context training (GPT-3 175B shape, 512 A100s, constant tokens/batch)")
+	rows := [][]string{{"seq", "batch", "attn FLOP share", "best strategy", "recompute", "MFU", "tokens/s"}}
+	for _, p := range pts {
+		if !p.Found {
+			rows = append(rows, []string{fmt.Sprintf("%d", p.Seq), "—", pct1(p.AttnShare), "does not run", "", "", ""})
+			continue
+		}
+		st := p.Best.Strategy
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Seq),
+			fmt.Sprintf("%d", p.Best.Model.Batch),
+			pct1(p.AttnShare),
+			fmt.Sprintf("(t=%d,p=%d,d=%d,m=%d)", st.TP, st.PP, st.DP, st.Microbatch),
+			string(st.Recompute),
+			pct1(p.Best.MFU),
+			fmt.Sprintf("%.0f", p.TokensPerSec),
+		})
+	}
+	report.Table(w, rows)
+}
+
+func pct1(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,27 @@
+package layers
+
+import (
+	"testing"
+
+	"calculon/internal/model"
+)
+
+// BenchmarkBlock measures the cost of building one block graph — inside the
+// hot path of every model evaluation.
+func BenchmarkBlock(b *testing.B) {
+	m := model.MustPreset("gpt3-175B")
+	sh := Shard{TP: 8, SeqParallel: true, Microbatch: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Block(m, sh)
+	}
+}
+
+// BenchmarkSum measures the block aggregation.
+func BenchmarkSum(b *testing.B) {
+	ls := Block(model.MustPreset("gpt3-175B"), Shard{TP: 8, Microbatch: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Sum(ls)
+	}
+}

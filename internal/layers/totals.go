@@ -1,0 +1,55 @@
+package layers
+
+import "calculon/internal/units"
+
+// Totals aggregates a block's layer graph into the quantities the
+// performance model and memory accountant consume.
+type Totals struct {
+	// Forward and backward FLOPs split by engine.
+	FwdMatrixFLOPs units.FLOPs
+	FwdVectorFLOPs units.FLOPs
+	BwdMatrixFLOPs units.FLOPs
+	BwdVectorFLOPs units.FLOPs
+
+	// Forward and backward memory traffic.
+	FwdTraffic units.Bytes
+	BwdTraffic units.Bytes
+
+	// WeightBytes is the per-processor parameter storage of one block.
+	WeightBytes units.Bytes
+	// ActBytes is the per-microbatch stored-activation footprint of one
+	// block with no recomputation.
+	ActBytes units.Bytes
+	// SqActBytes is the attention-matrix (s²) portion of ActBytes.
+	SqActBytes units.Bytes
+	// MaxOutputBytes is the largest single activation tensor, used to size
+	// gradient working space.
+	MaxOutputBytes units.Bytes
+}
+
+// Sum aggregates the layer graph.
+func Sum(ls []Layer) Totals {
+	var t Totals
+	for _, l := range ls {
+		switch l.Engine {
+		case Matrix:
+			t.FwdMatrixFLOPs += l.FLOPs
+			t.BwdMatrixFLOPs += l.BwdFLOPs
+		default:
+			t.FwdVectorFLOPs += l.FLOPs
+			t.BwdVectorFLOPs += l.BwdFLOPs
+		}
+		t.FwdTraffic += l.Traffic
+		t.BwdTraffic += l.BwdTraffic
+		t.WeightBytes += l.WeightBytes
+		t.ActBytes += l.ActBytes
+		t.SqActBytes += l.SqActBytes
+		if l.OutputBytes > t.MaxOutputBytes {
+			t.MaxOutputBytes = l.OutputBytes
+		}
+	}
+	return t
+}
+
+// Params returns the per-processor parameter count of the block.
+func (t Totals) Params() float64 { return float64(t.WeightBytes) / float64(dtype) }

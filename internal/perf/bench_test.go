@@ -1,0 +1,25 @@
+package perf
+
+import (
+	"testing"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/system"
+)
+
+// BenchmarkRun measures the cost of one analytical evaluation — the paper
+// quotes "much less than 1 ms per configuration"; this implementation
+// targets single-digit microseconds.
+func BenchmarkRun(b *testing.B) {
+	m := model.MustPreset("gpt3-175B").WithBatch(2048)
+	sys := system.A100(4096)
+	st := execution.Strategy{TP: 8, PP: 64, DP: 4, Microbatch: 1, Interleave: 2,
+		OneFOneB: true, Recompute: execution.RecomputeFull, TPRSAG: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, sys, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package perf
+
+import (
+	"calculon/internal/execution"
+	"calculon/internal/units"
+)
+
+// actPerMBPerBlock returns the stored-activation bytes one microbatch leaves
+// behind in one block, under the strategy's recompute mode: everything, the
+// non-attention-matrix tensors, or just the block's input.
+func (e *eval) actPerMBPerBlock() units.Bytes {
+	if e.st.Inference {
+		return 0
+	}
+	switch e.st.Recompute {
+	case execution.RecomputeFull:
+		return e.boundaryBytes
+	case execution.RecomputeAttn:
+		return e.tot.ActBytes - e.tot.SqActBytes
+	default:
+		return e.tot.ActBytes
+	}
+}
+
+// inflightMicrobatches returns how many microbatches' activations the
+// busiest (first) pipeline stage holds simultaneously. Plain 1F1B holds p;
+// the interleaved schedule holds p·(1 + (p−1)/(p·v)) — "an even larger
+// activation space", §4.1 — and a GPipe-style schedule holds all n.
+func (e *eval) inflightMicrobatches() float64 {
+	if e.st.Inference {
+		return 1
+	}
+	p, v, n := e.st.PP, e.st.Interleave, e.n
+	if p == 1 {
+		return 1
+	}
+	if !e.st.OneFOneB {
+		return float64(n)
+	}
+	base := float64(p)
+	if v > 1 {
+		base = float64(p) * (1 + float64(p-1)/float64(p*v))
+	}
+	if float64(n) < base {
+		return float64(n)
+	}
+	return base
+}
+
+// memory produces the per-processor consumption of both tiers (§2.4's
+// memory reporting: weights, optimizer state, activations, gradients).
+// Offloaded categories keep a Fig. 8 working set — compute, prefetch, and
+// writeback buffers for one block — resident in the first tier and stash
+// the remainder in the second.
+func (e *eval) memory() (mem1, mem2 MemBreakdown) {
+	blockW := e.tot.WeightBytes
+	weights := blockW * units.Bytes(e.bp)
+	mem1.Weights = weights
+	if e.st.WeightOffload {
+		resident := minBytes(weights, 3*blockW)
+		mem1.Weights = resident
+		mem2.Weights = weights - resident
+	}
+
+	if !e.st.Inference {
+		// fp16 gradients are the same size as the fp16 weights. With a
+		// sharded optimizer and overlapped DP communication they are
+		// reduce-scattered per block as the backward drains, so only the
+		// local shard plus a per-block working set persists (ZeRO). When
+		// weights are offloaded the remainder streams to the second tier
+		// right behind the backward pass.
+		grads := weights
+		if e.st.OptimSharding && e.st.DPOverlap {
+			grads = minBytes(weights, 3*blockW+weights/units.Bytes(e.st.DP))
+		}
+		mem1.WeightGrads = grads
+		if e.st.WeightOffload {
+			resident := minBytes(grads, 3*blockW)
+			mem1.WeightGrads = resident
+			mem2.WeightGrads = grads - resident
+		}
+	}
+
+	if !e.st.Inference {
+		// Adam state: fp32 master weights + two fp32 moments = 12 bytes per
+		// parameter = 6× the fp16 weight bytes, sharded across DP when
+		// optimizer sharding is on.
+		optim := 6 * weights
+		if e.st.OptimSharding {
+			optim /= units.Bytes(e.st.DP)
+		}
+		mem1.Optimizer = optim
+		if e.st.OptimOffload {
+			resident := minBytes(optim, 3*(optim/units.Bytes(e.bp)))
+			mem1.Optimizer = resident
+			mem2.Optimizer = optim - resident
+		}
+	}
+
+	actBlock := e.actPerMBPerBlock()
+	acts := actBlock * units.Bytes(float64(e.bp)*e.inflightMicrobatches())
+	mem1.Activations = acts
+	if e.st.ActOffload {
+		resident := minBytes(acts, 3*actBlock)
+		mem1.Activations = resident
+		mem2.Activations = acts - resident
+	}
+
+	// Working space for the gradient flowing through the current layer
+	// (double-buffered largest tensor). Inference needs the same space for
+	// the live activations themselves.
+	work := 2 * e.tot.MaxOutputBytes
+	if e.st.Inference {
+		mem1.Activations += work
+	} else {
+		mem1.ActGrads = work
+	}
+	return mem1, mem2
+}
+
+func minBytes(a, b units.Bytes) units.Bytes {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,229 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/system"
+	"calculon/internal/units"
+)
+
+// randomStrategy derives a valid strategy from raw fuzz bytes for a
+// 64-processor gpt3-13B setup (40 heads, 40 blocks, batch 64).
+func randomStrategy(raw [8]uint8) execution.Strategy {
+	tps := []int{1, 2, 4, 8}
+	pps := []int{1, 2, 4, 8}
+	tp := tps[int(raw[0])%len(tps)]
+	pp := pps[int(raw[1])%len(pps)]
+	dp := 64 / (tp * pp)
+	perPipe := 64 / dp
+	mbs := []int{1, 2, 4}
+	mb := mbs[int(raw[2])%len(mbs)]
+	if perPipe%mb != 0 {
+		mb = 1
+	}
+	st := execution.Strategy{
+		TP: tp, PP: pp, DP: dp, Microbatch: mb, Interleave: 1, OneFOneB: true,
+		Recompute: []execution.RecomputeMode{
+			execution.RecomputeNone, execution.RecomputeAttn, execution.RecomputeFull,
+		}[int(raw[3])%3],
+		TPOverlap: []execution.TPOverlapMode{
+			execution.TPOverlapNone, execution.TPOverlapPipe, execution.TPOverlapRing,
+		}[int(raw[4])%3],
+		DPOverlap:     raw[5]&1 == 1,
+		OptimSharding: raw[5]&2 == 2,
+		FusedLayers:   raw[5]&4 == 4,
+	}
+	if raw[6]&1 == 1 {
+		st.TPRSAG = true
+		if raw[6]&2 == 2 {
+			st.SeqParallel = true
+			if raw[6]&4 == 4 {
+				st.TPRedoForSP = true
+			}
+		}
+	}
+	if pp > 1 && raw[7]&1 == 1 {
+		st.Interleave = 2
+	}
+	return st
+}
+
+func propertySystem() system.System {
+	return system.A100(64).WithMem1Capacity(10 * units.TiB)
+}
+
+// TestPropertyBreakdownIdentities: for every valid strategy, the breakdown
+// sums to the batch time, exposed communication never exceeds the total,
+// sample rate is batch/time, and MFU lies in (0,1).
+func TestPropertyBreakdownIdentities(t *testing.T) {
+	m := model.MustPreset("gpt3-13B").WithBatch(64)
+	sys := propertySystem()
+	runner, err := NewRunner(m, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [8]uint8) bool {
+		st := randomStrategy(raw)
+		res, err := runner.Run(st)
+		if err != nil {
+			return true // infeasible is fine; identities apply to results
+		}
+		sum := res.Time.FwdPass + res.Time.BwdPass + res.Time.Recompute +
+			res.Time.OptimStep + res.Time.PPBubble + res.Time.TPExposed +
+			res.Time.PPExposed + res.Time.DPExposed + res.Time.OffloadExposed
+		if abs(float64(sum-res.BatchTime)) > 1e-9*float64(res.BatchTime) {
+			return false
+		}
+		if res.Time.TPExposed > res.Time.TPComm+1e-12 ||
+			res.Time.DPExposed > res.Time.DPComm+1e-12 ||
+			res.Time.PPExposed > res.Time.PPComm+1e-12 {
+			return false
+		}
+		if abs(res.SampleRate-64/float64(res.BatchTime)) > 1e-6*res.SampleRate {
+			return false
+		}
+		return res.MFU > 0 && res.MFU < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFasterHardwareNeverHurts: scaling any single hardware
+// resource up cannot increase batch time.
+func TestPropertyFasterHardwareNeverHurts(t *testing.T) {
+	m := model.MustPreset("gpt3-13B").WithBatch(64)
+	base := propertySystem()
+
+	boosts := []func(system.System) system.System{
+		func(s system.System) system.System {
+			s.Compute.MatrixPeak *= 2
+			return s
+		},
+		func(s system.System) system.System {
+			s.Compute.VectorPeak *= 2
+			return s
+		},
+		func(s system.System) system.System {
+			s.Mem1.Bandwidth *= 2
+			return s
+		},
+		func(s system.System) system.System {
+			nets := append([]system.Network(nil), s.Networks...)
+			for i := range nets {
+				nets[i].Bandwidth *= 2
+			}
+			s.Networks = nets
+			return s
+		},
+		func(s system.System) system.System {
+			nets := append([]system.Network(nil), s.Networks...)
+			for i := range nets {
+				nets[i].Latency = 0
+			}
+			s.Networks = nets
+			return s
+		},
+	}
+	f := func(raw [8]uint8, which uint8) bool {
+		st := randomStrategy(raw)
+		r1, err := Run(m, base, st)
+		if err != nil {
+			return true
+		}
+		boosted := boosts[int(which)%len(boosts)](base)
+		r2, err := Run(m, boosted, st)
+		if err != nil {
+			return false // faster hardware must not become infeasible
+		}
+		return r2.BatchTime <= r1.BatchTime*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMemoryMonotoneInMicrobatch: activations never shrink when the
+// microbatch grows (same split otherwise).
+func TestPropertyMemoryMonotoneInMicrobatch(t *testing.T) {
+	m := model.MustPreset("gpt3-13B").WithBatch(64)
+	sys := propertySystem()
+	f := func(raw [8]uint8) bool {
+		st := randomStrategy(raw)
+		st.Microbatch = 1
+		r1, err := Run(m, sys, st)
+		if err != nil {
+			return true
+		}
+		st2 := st
+		st2.Microbatch = 2
+		if (64 / st.DP % 2) != 0 {
+			return true
+		}
+		r2, err := Run(m, sys, st2)
+		if err != nil {
+			return true
+		}
+		return r2.Mem1.Activations >= r1.Mem1.Activations-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMoreCapacityNeverInfeasible: a strategy feasible at capacity
+// C stays feasible (with identical results) at any capacity ≥ C.
+func TestPropertyMoreCapacityNeverInfeasible(t *testing.T) {
+	m := model.MustPreset("gpt3-13B").WithBatch(64)
+	f := func(raw [8]uint8, extraGiB uint8) bool {
+		st := randomStrategy(raw)
+		small := system.A100(64)
+		r1, err := Run(m, small, st)
+		if err != nil {
+			return true
+		}
+		big := small.WithMem1Capacity(small.Mem1.Capacity + units.Bytes(extraGiB)*units.GiB)
+		r2, err := Run(m, big, st)
+		if err != nil {
+			return false
+		}
+		return r2.BatchTime == r1.BatchTime && r2.Mem1 == r1.Mem1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBiggerBatchAmortizes: doubling the global batch at a fixed
+// split costs at most 2× the time (the bubble and optimizer amortize) and
+// at least 1× (no free lunch).
+func TestPropertyBiggerBatchAmortizes(t *testing.T) {
+	sys := propertySystem()
+	f := func(raw [8]uint8) bool {
+		st := randomStrategy(raw)
+		m1 := model.MustPreset("gpt3-13B").WithBatch(64)
+		m2 := m1.WithBatch(128)
+		r1, err := Run(m1, sys, st)
+		if err != nil {
+			return true
+		}
+		r2, err := Run(m2, sys, st)
+		if err != nil {
+			return true
+		}
+		return r2.BatchTime <= 2*r1.BatchTime*(1+1e-9) && r2.BatchTime >= r1.BatchTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

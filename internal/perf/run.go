@@ -1,0 +1,381 @@
+package perf
+
+import (
+	"calculon/internal/comm"
+	"calculon/internal/execution"
+	"calculon/internal/layers"
+	"calculon/internal/model"
+	"calculon/internal/system"
+	"calculon/internal/units"
+)
+
+// Run evaluates one (LLM, system, strategy) point and returns the complete
+// performance estimate, or an ErrInfeasible-wrapped error when the
+// configuration cannot run. A single call is allocation-light and takes on
+// the order of microseconds, which is what makes exhaustive search
+// practical (§5).
+func Run(m model.LLM, sys system.System, st execution.Strategy) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := sys.Validate(); err != nil {
+		return Result{}, err
+	}
+	return (&Runner{m: m, sys: sys}).Run(st)
+}
+
+// Runner evaluates many strategies against one fixed, pre-validated
+// (LLM, system) pair — the hot path of the exhaustive searches.
+type Runner struct {
+	m   model.LLM
+	sys system.System
+}
+
+// NewRunner validates the model and system once and returns an evaluator.
+func NewRunner(m model.LLM, sys system.System) (*Runner, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{m: m, sys: sys}, nil
+}
+
+// Run evaluates one strategy; see the package-level Run.
+func (r *Runner) Run(st execution.Strategy) (Result, error) {
+	m, sys := r.m, r.sys
+	st = st.Normalize()
+	if err := st.Validate(m); err != nil {
+		return Result{}, infeasible("%v", err)
+	}
+	if st.Procs() > sys.Procs {
+		return Result{}, infeasible("strategy needs %d procs, system has %d", st.Procs(), sys.Procs)
+	}
+	if (st.WeightOffload || st.ActOffload || st.OptimOffload) && !sys.Mem2.Present() {
+		return Result{}, infeasible("offloading requires a second memory tier")
+	}
+
+	e := newEval(m, sys, st)
+	e.computeBlocks()
+	e.tensorComm()
+	e.pipelineComm()
+	e.dataComm()
+	e.optimizer()
+	e.offload()
+
+	mem1, mem2 := e.memory()
+	if mem1.Total() > sys.Mem1.Capacity {
+		return Result{}, infeasible("mem1 needs %v of %v", mem1.Total(), sys.Mem1.Capacity)
+	}
+	if mem2.Total() > sys.Mem2.Capacity {
+		return Result{}, infeasible("mem2 needs %v of %v", mem2.Total(), sys.Mem2.Capacity)
+	}
+
+	t := e.assemble()
+	batch := t.Total()
+	res := Result{
+		Model:             m,
+		System:            sys.Name,
+		Strategy:          st,
+		BatchTime:         batch,
+		SampleRate:        float64(m.Batch) / float64(batch),
+		Time:              t,
+		Mem1:              mem1,
+		Mem2:              mem2,
+		OffloadBWRequired: e.offloadBWRequired,
+		OffloadBWUsed:     e.offloadBWUsed,
+		ProcsUsed:         st.Procs(),
+	}
+	useful := units.FLOPs(float64(m.Batch)) * usefulFLOPsPerSample(m, st)
+	peak := float64(st.Procs()) * float64(sys.Compute.MatrixPeak)
+	res.MFU = float64(useful) / (float64(batch) * peak)
+	return res, nil
+}
+
+// usefulFLOPsPerSample is the recompute-free model FLOP count per sample
+// used for MFU (forward + backward for training, forward for inference).
+func usefulFLOPsPerSample(m model.LLM, st execution.Strategy) units.FLOPs {
+	fwd := units.FLOPs(float64(m.Seq)) * m.FwdFLOPsPerToken()
+	if st.Inference {
+		return fwd
+	}
+	return 3 * fwd
+}
+
+// eval carries the intermediate quantities of one evaluation.
+type eval struct {
+	m   model.LLM
+	sys system.System
+	st  execution.Strategy
+
+	ls  []layers.Layer
+	tot layers.Totals
+
+	// Derived shape quantities.
+	n  int // microbatches per pipeline pass
+	bp int // blocks on the busiest processor
+	bc int // blocks per interleave chunk
+
+	// Per-microbatch, per-block compute times and HBM-idle slack.
+	blockFwd, blockBwd, blockRecompute         units.Seconds
+	blockFwdSlack, blockBwdSlack, recompSlack  units.Seconds
+	fwdPenalty, bwdPenalty                     units.Seconds // overlap compute tax per block
+	tpFwdPerBlock, tpBwdPerBlock               units.Seconds // total TP comm
+	tpFwdExposedPerBlock, tpBwdExposedPerBlock units.Seconds
+	ppPerMicrobatch, ppExposedPerMicrobatch    units.Seconds
+	dpTotal, dpExposed, dpPenalty              units.Seconds
+	optimTime                                  units.Seconds
+	offloadTotal, offloadExposed               units.Seconds
+	offloadBWRequired, offloadBWUsed           units.BytesPerSec
+	boundaryBytes                              units.Bytes
+}
+
+func newEval(m model.LLM, sys system.System, st execution.Strategy) *eval {
+	sh := layers.Shard{
+		TP:          st.TP,
+		SeqParallel: st.SeqParallel,
+		TPRedo:      st.TPRedoForSP,
+		Fused:       st.FusedLayers,
+		Microbatch:  st.Microbatch,
+		Inference:   st.Inference,
+	}
+	ls := layers.Block(m, sh)
+	return &eval{
+		m: m, sys: sys, st: st,
+		ls:            ls,
+		tot:           layers.Sum(ls),
+		n:             st.Microbatches(m),
+		bp:            st.BlocksPerProc(m),
+		bc:            st.BlocksPerChunk(m),
+		boundaryBytes: layers.BlockInputBytes(m, sh),
+	}
+}
+
+// opTime applies the processing model of §2.2 to one operation: the time is
+// the maximum of raw compute and raw memory access, each with size-based
+// efficiency. slack is the HBM-idle portion usable for offload transfers.
+func (e *eval) opTime(engine layers.Engine, flops units.FLOPs, traffic units.Bytes) (t, slack units.Seconds) {
+	var rate units.FLOPsPerSec
+	if engine == layers.Matrix {
+		rate = e.sys.Compute.MatrixRate(flops)
+	} else {
+		rate = e.sys.Compute.VectorRate(flops)
+	}
+	ct := flops.Div(rate)
+	mt := e.sys.Mem1.AccessTime(traffic)
+	if ct >= mt {
+		return ct, ct - mt
+	}
+	return mt, 0
+}
+
+// computeBlocks times one microbatch through one block: forward, backward,
+// and the recompute portion selected by the strategy.
+func (e *eval) computeBlocks() {
+	for _, l := range e.ls {
+		ft, fs := e.opTime(l.Engine, l.FLOPs, l.Traffic)
+		e.blockFwd += ft
+		e.blockFwdSlack += fs
+		bt, bs := e.opTime(l.Engine, l.BwdFLOPs, l.BwdTraffic)
+		e.blockBwd += bt
+		e.blockBwdSlack += bs
+		switch e.st.Recompute {
+		case execution.RecomputeFull:
+			e.blockRecompute += ft
+			e.recompSlack += fs
+		case execution.RecomputeAttn:
+			if l.AttnGroup {
+				e.blockRecompute += ft
+				e.recompSlack += fs
+			}
+		}
+	}
+}
+
+// tensorComm prices the per-block tensor-parallel collectives and applies
+// the selected overlap mode. Hidden communication taxes the concurrent
+// compute by the network's processor-usage fraction (§2.2).
+func (e *eval) tensorComm() {
+	t := e.st.TP
+	if t <= 1 {
+		return
+	}
+	net := e.sys.NetworkFor(t)
+	full := units.Bytes(float64(e.st.Microbatch)*float64(e.m.Seq)*float64(e.m.Hidden)) * 2
+
+	var fwd, bwd units.Seconds
+	if e.st.TPRSAG {
+		rs := comm.Time(net, comm.ReduceScatter, t, full)
+		ag := comm.Time(net, comm.AllGather, t, full)
+		fwd = 2 * (rs + ag)
+		bwd = 2 * (rs + ag)
+		if e.st.TPRedoForSP {
+			// Backward re-gathers the sharded GEMM inputs it did not store.
+			bwd += 2 * ag
+		}
+	} else {
+		ar := comm.Time(net, comm.AllReduce, t, full)
+		fwd = 2 * ar
+		bwd = 2 * ar
+	}
+	if e.st.Recompute == execution.RecomputeFull {
+		// Re-running the whole block forward re-runs its collectives too.
+		bwd += fwd
+	}
+	e.tpFwdPerBlock, e.tpBwdPerBlock = fwd, bwd
+
+	hide := e.st.TPOverlap.HiddenFraction()
+	// Overlap can only hide communication behind the block's compute time.
+	hiddenFwd := minSec(units.Seconds(hide)*fwd, e.blockFwd)
+	hiddenBwd := minSec(units.Seconds(hide)*bwd, e.blockBwd+e.blockRecompute)
+	e.tpFwdExposedPerBlock = fwd - hiddenFwd
+	e.tpBwdExposedPerBlock = bwd - hiddenBwd
+	tax := units.Seconds(net.ProcUse / (1 - net.ProcUse))
+	e.fwdPenalty += hiddenFwd * tax
+	e.bwdPenalty += hiddenBwd * tax
+}
+
+// pipelineComm prices the point-to-point boundary traffic of pipeline
+// parallelism. With PP RS+AG (or sequence parallelism, whose boundary is
+// already sharded) the transfer shrinks by t, at the cost of an all-gather
+// on the fast network to reassemble the tensor.
+func (e *eval) pipelineComm() {
+	p := e.st.PP
+	if p <= 1 {
+		return
+	}
+	net := e.sys.NetworkFor(e.st.TP * p)
+	bytes := e.boundaryBytes
+	var reassemble units.Seconds
+	if e.st.PPRSAG && !e.st.SeqParallel && e.st.TP > 1 {
+		bytes /= units.Bytes(e.st.TP)
+		tpNet := e.sys.NetworkFor(e.st.TP)
+		reassemble = comm.Time(tpNet, comm.AllGather, e.st.TP, e.boundaryBytes)
+	}
+	hop := comm.Time(net, comm.P2P, 2, bytes) + reassemble
+	// Each microbatch crosses v chunk boundaries forward and v backward.
+	perMB := units.Seconds(2*e.st.Interleave) * hop
+	if e.st.Inference {
+		perMB = units.Seconds(e.st.Interleave) * hop
+	}
+	e.ppPerMicrobatch = perMB
+	e.ppExposedPerMicrobatch = perMB
+}
+
+// dataComm prices the per-batch gradient synchronization of data
+// parallelism, including optional overlap with the backward drain (Fig. 2b)
+// and the rule that sharded optimizers forbid overlap during their step.
+func (e *eval) dataComm() {
+	d := e.st.DP
+	if d <= 1 || e.st.Inference {
+		return
+	}
+	net := e.sys.NetworkFor(e.st.TP * e.st.PP * d)
+	grads := e.tot.WeightBytes * units.Bytes(e.bp)
+
+	var overlappable, gather units.Seconds
+	if e.st.OptimSharding {
+		// Reduce-scatter during backward; the all-gather of updated
+		// parameters runs after the (sharded) optimizer step — never during
+		// it (§2.4) — but may prefetch against the next batch's forward.
+		overlappable = comm.Time(net, comm.ReduceScatter, d, grads)
+		gather = comm.Time(net, comm.AllGather, d, grads)
+	} else {
+		overlappable = comm.Time(net, comm.AllReduce, d, grads)
+	}
+	e.dpTotal = overlappable + gather
+
+	hidden := units.Seconds(0)
+	tax := units.Seconds(net.ProcUse / (1 - net.ProcUse))
+	if e.st.DPOverlap && e.bp > 1 {
+		// Per-block gradients become final as the last microbatch's
+		// backward drains through this processor's blocks; the drain window
+		// is the backward (plus recompute) of the remaining blocks.
+		window := units.Seconds(float64(e.bp-1)) * (e.blockBwd + e.blockRecompute)
+		frac := units.Seconds(float64(e.bp-1) / float64(e.bp))
+		hidden = minSec(overlappable*frac, window)
+		if gather > 0 {
+			// The updated-parameter all-gather streams per block ahead of
+			// the next forward pass (ZeRO-style prefetch), bounded by the
+			// forward time of the blocks not yet reached.
+			fwdWindow := units.Seconds(float64(e.n)*float64(e.bp-1)) * e.blockFwd
+			hidden += minSec(gather*frac, fwdWindow)
+		}
+		e.dpPenalty = hidden * tax
+	}
+	e.dpExposed = e.dpTotal - hidden
+}
+
+// optimizer prices the Adam step: element-wise vector math over the local
+// (possibly sharded) parameters, streaming optimizer state from the tier
+// that holds it.
+func (e *eval) optimizer() {
+	if e.st.Inference {
+		return
+	}
+	params := e.tot.Params() * float64(e.bp)
+	if e.st.OptimSharding {
+		params /= float64(e.st.DP)
+	}
+	flops := units.FLOPs(10 * params)
+	ct := flops.Div(e.sys.Compute.VectorRate(flops))
+	// Read grad (2B) + state (12B), write state (12B) + weights (2B).
+	traffic := units.Bytes(28 * params)
+	mt := e.sys.Mem1.AccessTime(traffic)
+	if e.st.OptimOffload {
+		// State was prefetched during the backward pass (Fig. 8); the
+		// updated state and weights stream back over the second tier,
+		// pacing the step when that link is slower.
+		writeback := units.Bytes(14 * params)
+		mt = maxSec(mt, writeback.Div(e.sys.Mem2.EffectiveBandwidth(writeback)))
+	}
+	e.optimTime = maxSec(ct, mt)
+}
+
+// assemble composes the per-batch breakdown from the per-block quantities.
+func (e *eval) assemble() TimeBreakdown {
+	var t TimeBreakdown
+	nb := units.Seconds(float64(e.n) * float64(e.bp))
+	t.FwdPass = nb*e.blockFwd + units.Seconds(float64(e.n)*float64(e.bp))*e.fwdPenalty
+	t.Recompute = nb * e.blockRecompute
+	if !e.st.Inference {
+		t.BwdPass = nb*e.blockBwd + units.Seconds(float64(e.n)*float64(e.bp))*e.bwdPenalty + e.dpPenalty
+	}
+	t.TPComm = nb * (e.tpFwdPerBlock + e.tpBwdPerBlock)
+	t.TPExposed = nb * (e.tpFwdExposedPerBlock + e.tpBwdExposedPerBlock)
+	t.PPComm = units.Seconds(float64(e.n)) * e.ppPerMicrobatch
+	t.PPExposed = units.Seconds(float64(e.n)) * e.ppExposedPerMicrobatch
+	t.DPComm = e.dpTotal
+	t.DPExposed = e.dpExposed
+	t.OptimStep = e.optimTime
+	t.OffloadTotal = e.offloadTotal
+	t.OffloadExposed = e.offloadExposed
+
+	if p := e.st.PP; p > 1 {
+		// Interleaved 1F1B bubble: (p−1) chunk slots at the head and tail of
+		// the pipeline (Fig. 2); a chunk is bc blocks plus its boundary hop.
+		hop := e.ppPerMicrobatch / units.Seconds(2*e.st.Interleave)
+		chunkFwd := units.Seconds(float64(e.bc))*(e.blockFwd+e.fwdPenalty+e.tpFwdExposedPerBlock) + hop
+		chunkBwd := units.Seconds(float64(e.bc))*(e.blockBwd+e.blockRecompute+e.bwdPenalty+e.tpBwdExposedPerBlock) + hop
+		if e.st.Inference {
+			chunkBwd = 0
+		}
+		t.PPBubble = units.Seconds(float64(p-1)) * (chunkFwd + chunkBwd)
+	}
+	return t
+}
+
+func minSec(a, b units.Seconds) units.Seconds {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxSec(a, b units.Seconds) units.Seconds {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,15 @@
+package pipesim
+
+import "testing"
+
+// BenchmarkSimulate measures the discrete scheduler on a realistic shape.
+func BenchmarkSimulate(b *testing.B) {
+	p := Params{Stages: 16, Chunks: 2, Microbatches: 64,
+		FwdChunk: 1, BwdChunk: 2, Hop: 0.01, Schedule: OneFOneB}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

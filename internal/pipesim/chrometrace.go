@@ -1,0 +1,52 @@
+package pipesim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one complete event ("ph":"X") of the Chrome trace-event
+// format, loadable in chrome://tracing or Perfetto.
+type chromeEvent struct {
+	Name            string         `json:"name"`
+	Phase           string         `json:"ph"`
+	TimestampMicros float64        `json:"ts"`
+	DurationMicros  float64        `json:"dur"`
+	PID             int            `json:"pid"`
+	TID             int            `json:"tid"`
+	Args            map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace simulates the schedule and writes it as a Chrome
+// trace-event JSON document: one track per pipeline stage, one complete
+// event per chunk visit. Load the output in chrome://tracing or
+// https://ui.perfetto.dev to inspect the schedule interactively.
+func WriteChromeTrace(w io.Writer, p Params) error {
+	ops, _, err := Trace(p)
+	if err != nil {
+		return err
+	}
+	events := make([]chromeEvent, 0, len(ops))
+	for _, o := range ops {
+		dir := "fwd"
+		if !o.Forward {
+			dir = "bwd"
+		}
+		events = append(events, chromeEvent{
+			Name:            fmt.Sprintf("%s c%d m%d", dir, o.Chunk, o.Microbatch),
+			Phase:           "X",
+			TimestampMicros: float64(o.Start) * 1e6,
+			DurationMicros:  float64(o.Finish-o.Start) * 1e6,
+			PID:             0,
+			TID:             o.Stage,
+			Args: map[string]any{
+				"chunk":      o.Chunk,
+				"microbatch": o.Microbatch,
+				"direction":  dir,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

@@ -1,0 +1,320 @@
+// Package pipesim is a discrete simulator of the pipeline schedules the
+// analytical model prices in closed form (Fig. 2 of the paper): GPipe-style
+// all-forward-all-backward, 1F1B, and Megatron's interleaved 1F1B. It
+// builds the exact operation DAG — every (stage, chunk, microbatch,
+// direction) visit with its device-order and pipeline-dependency edges —
+// and computes start/finish times by longest path.
+//
+// Its role in this repository is validation: the closed-form bubble and
+// in-flight-activation expressions used by internal/perf are cross-checked
+// against this simulator in tests, the same way the paper validates its
+// analytical model against measurements.
+package pipesim
+
+import (
+	"fmt"
+
+	"calculon/internal/units"
+)
+
+// Schedule selects the pipeline schedule to simulate.
+type Schedule int
+
+const (
+	// GPipe runs every forward before any backward.
+	GPipe Schedule = iota
+	// OneFOneB is the memory-saving one-forward-one-backward schedule;
+	// with Chunks > 1 it becomes Megatron's interleaved schedule.
+	OneFOneB
+)
+
+func (s Schedule) String() string {
+	if s == GPipe {
+		return "gpipe"
+	}
+	return "1f1b"
+}
+
+// Params describes the pipeline to simulate.
+type Params struct {
+	// Stages is the pipeline depth p.
+	Stages int
+	// Chunks is the interleaving factor v: each stage owns v chunks of
+	// consecutive blocks (Fig. 2's "chunk of consecutive blocks").
+	Chunks int
+	// Microbatches is n, the microbatches per pipeline pass.
+	Microbatches int
+	// FwdChunk / BwdChunk are the compute times of one chunk visit.
+	FwdChunk units.Seconds
+	BwdChunk units.Seconds
+	// Hop is the point-to-point boundary transfer time between stages.
+	Hop      units.Seconds
+	Schedule Schedule
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Stages < 1:
+		return fmt.Errorf("pipesim: stages must be ≥1, got %d", p.Stages)
+	case p.Chunks < 1:
+		return fmt.Errorf("pipesim: chunks must be ≥1, got %d", p.Chunks)
+	case p.Microbatches < 1:
+		return fmt.Errorf("pipesim: microbatches must be ≥1, got %d", p.Microbatches)
+	case p.FwdChunk < 0 || p.BwdChunk < 0 || p.Hop < 0:
+		return fmt.Errorf("pipesim: times must be non-negative")
+	case p.Schedule == GPipe && p.Chunks != 1:
+		return fmt.Errorf("pipesim: GPipe does not interleave chunks")
+	}
+	return nil
+}
+
+// Result is the simulated outcome.
+type Result struct {
+	// Makespan is the end-to-end time of the pipeline pass.
+	Makespan units.Seconds
+	// ComputePerStage is the busy compute time of each stage (identical
+	// across stages for a uniform pipeline).
+	ComputePerStage units.Seconds
+	// Bubble is the idle time of the bottleneck stage:
+	// Makespan − ComputePerStage.
+	Bubble units.Seconds
+	// PeakInFlight is the maximum number of chunk-visits whose forward has
+	// completed but whose backward has not yet started on stage 0 — the
+	// activation residency the memory model sizes, in microbatch
+	// equivalents (divide by Chunks for whole microbatches).
+	PeakInFlight int
+}
+
+// op identifies one chunk visit.
+type op struct {
+	start, finish units.Seconds
+}
+
+// Simulate runs the schedule and returns its timing.
+func Simulate(p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	P, V, N := p.Stages, p.Chunks, p.Microbatches
+	K := P * V // global chunk count; global chunk k lives on stage k%P, chunk k/P
+
+	fwd := make([][]op, K) // [global chunk][microbatch]
+	bwd := make([][]op, K)
+	for k := 0; k < K; k++ {
+		fwd[k] = make([]op, N)
+		bwd[k] = make([]op, N)
+	}
+
+	// Per-device operation sequences in schedule order.
+	seqs := make([][]ref, P)
+	for s := 0; s < P; s++ {
+		seqs[s] = deviceSequence(p, s)
+	}
+
+	// The op DAG is acyclic (device order plus forward-in-model-order and
+	// backward-in-reverse-order dependencies), so repeated relaxation in
+	// device order converges; iterate until a full pass changes nothing.
+	devFree := make([]units.Seconds, P)
+	devPos := make([]int, P)
+	unset := units.Seconds(-1)
+	for k := 0; k < K; k++ {
+		for m := 0; m < N; m++ {
+			fwd[k][m].start, bwd[k][m].start = unset, unset
+		}
+	}
+	remaining := 2 * K * N
+	for remaining > 0 {
+		progressed := false
+		for s := 0; s < P; s++ {
+			for devPos[s] < len(seqs[s]) {
+				r := seqs[s][devPos[s]]
+				ready, ok := p.depReady(r, fwd, bwd)
+				if !ok {
+					break
+				}
+				o := &fwd[r.chunk][r.mb]
+				dur := p.FwdChunk
+				if !r.isFwd {
+					o = &bwd[r.chunk][r.mb]
+					dur = p.BwdChunk
+				}
+				start := devFree[s]
+				if ready > start {
+					start = ready
+				}
+				o.start = start
+				o.finish = start + dur
+				devFree[s] = o.finish
+				devPos[s]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return Result{}, fmt.Errorf("pipesim: schedule deadlocked (stages=%d chunks=%d n=%d)", P, V, N)
+		}
+	}
+
+	var res Result
+	for k := 0; k < K; k++ {
+		for m := 0; m < N; m++ {
+			if bwd[k][m].finish > res.Makespan {
+				res.Makespan = bwd[k][m].finish
+			}
+		}
+	}
+	res.ComputePerStage = units.Seconds(N*V) * (p.FwdChunk + p.BwdChunk)
+	res.Bubble = res.Makespan - res.ComputePerStage
+	res.PeakInFlight = peakInFlight(fwd, bwd, P, V, N)
+	return res, nil
+}
+
+// ref names one op in a device sequence.
+type ref struct {
+	chunk int // global chunk index
+	mb    int
+	isFwd bool
+}
+
+// depReady returns when the op's pipeline dependency is satisfied, or false
+// if a dependency has not been scheduled yet.
+func (p Params) depReady(r ref, fwd, bwd [][]op) (units.Seconds, bool) {
+	K := p.Stages * p.Chunks
+	if r.isFwd {
+		if r.chunk == 0 {
+			return 0, true
+		}
+		dep := fwd[r.chunk-1][r.mb]
+		if dep.start < 0 {
+			return 0, false
+		}
+		return dep.finish + p.Hop, true
+	}
+	if r.chunk == K-1 {
+		dep := fwd[K-1][r.mb]
+		if dep.start < 0 {
+			return 0, false
+		}
+		return dep.finish, true
+	}
+	dep := bwd[r.chunk+1][r.mb]
+	if dep.start < 0 {
+		return 0, false
+	}
+	return dep.finish + p.Hop, true
+}
+
+// deviceSequence produces stage s's op order under the schedule.
+func deviceSequence(p Params, s int) []ref {
+	P, V, N := p.Stages, p.Chunks, p.Microbatches
+	total := N * V
+
+	// Forward order: Megatron's round-robin over chunks in groups of P
+	// microbatches; backward symmetric with chunks reversed. Building the
+	// lists explicitly keeps the cross-device order consistent when N is
+	// not a multiple of P.
+	fwdOrder := make([]ref, 0, total)
+	bwdOrder := make([]ref, 0, total)
+	for group := 0; group*P < N; group++ {
+		for c := 0; c < V; c++ {
+			for j := 0; j < P; j++ {
+				m := group*P + j
+				if m >= N {
+					continue
+				}
+				fwdOrder = append(fwdOrder, ref{chunk: c*P + s, mb: m, isFwd: true})
+				bwdOrder = append(bwdOrder, ref{chunk: (V-1-c)*P + s, mb: m, isFwd: false})
+			}
+		}
+	}
+	fwdRef := func(i int) ref { return fwdOrder[i] }
+	bwdRef := func(i int) ref { return bwdOrder[i] }
+
+	var seq []ref
+	if p.Schedule == GPipe {
+		for i := 0; i < total; i++ {
+			seq = append(seq, fwdRef(i))
+		}
+		for i := 0; i < total; i++ {
+			seq = append(seq, bwdRef(i))
+		}
+		return seq
+	}
+
+	// 1F1B / interleaved 1F1B: Megatron's warmup count in chunk visits,
+	// then strict alternation, then the cooldown drain. The interleaved
+	// schedule is only defined for n divisible by p (Megatron asserts the
+	// same); other shapes run all forwards first, which is always valid.
+	warmup := P - s - 1
+	if V > 1 {
+		warmup = 2*(P-s-1) + (V-1)*P
+		if N%P != 0 {
+			warmup = total
+		}
+	}
+	if warmup > total {
+		warmup = total
+	}
+	fi, bi := 0, 0
+	for ; fi < warmup; fi++ {
+		seq = append(seq, fwdRef(fi))
+	}
+	for fi < total {
+		seq = append(seq, fwdRef(fi))
+		fi++
+		seq = append(seq, bwdRef(bi))
+		bi++
+	}
+	for bi < total {
+		seq = append(seq, bwdRef(bi))
+		bi++
+	}
+	return seq
+}
+
+// peakInFlight scans stage 0's chunk visits for the maximum number whose
+// forward has finished while the backward has not started.
+func peakInFlight(fwd, bwd [][]op, P, V, N int) int {
+	var events []event
+	for c := 0; c < V; c++ {
+		k := c * P // stage 0's chunks
+		for m := 0; m < N; m++ {
+			events = append(events, event{fwd[k][m].finish, +1})
+			events = append(events, event{bwd[k][m].start, -1})
+		}
+	}
+	// Sort by time with releases (-1) before acquisitions at equal time.
+	sortEvents(events)
+	peak, cur := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+func sortEvents(ev []event) {
+	// Insertion sort is fine for the test-sized traces this runs on.
+	for i := 1; i < len(ev); i++ {
+		for j := i; j > 0 && less(ev[j], ev[j-1]); j-- {
+			ev[j], ev[j-1] = ev[j-1], ev[j]
+		}
+	}
+}
+
+type event struct {
+	t     units.Seconds
+	delta int
+}
+
+func less(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	// At equal times the activation is still live while its backward runs:
+	// count acquisitions before releases.
+	return a.delta > b.delta
+}

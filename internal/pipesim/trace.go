@@ -1,0 +1,147 @@
+package pipesim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"calculon/internal/units"
+)
+
+// TraceOp is one executed chunk visit with its timing, for timeline
+// rendering and schedule debugging.
+type TraceOp struct {
+	Stage      int
+	Chunk      int // local chunk index on the stage (0..Chunks-1)
+	Microbatch int
+	Forward    bool
+	Start      units.Seconds
+	Finish     units.Seconds
+}
+
+// Trace simulates the schedule and returns every op with its timing,
+// ordered by stage then start time.
+func Trace(p Params) ([]TraceOp, Result, error) {
+	res, err := Simulate(p)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	// Re-run the placement to collect timings (Simulate is cheap).
+	ops, err := collect(p)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return ops, res, nil
+}
+
+func collect(p Params) ([]TraceOp, error) {
+	P, V, N := p.Stages, p.Chunks, p.Microbatches
+	K := P * V
+	fwd := make([][]op, K)
+	bwd := make([][]op, K)
+	for k := 0; k < K; k++ {
+		fwd[k] = make([]op, N)
+		bwd[k] = make([]op, N)
+		for m := 0; m < N; m++ {
+			fwd[k][m].start, bwd[k][m].start = -1, -1
+		}
+	}
+	seqs := make([][]ref, P)
+	for s := 0; s < P; s++ {
+		seqs[s] = deviceSequence(p, s)
+	}
+	devFree := make([]units.Seconds, P)
+	devPos := make([]int, P)
+	remaining := 2 * K * N
+	for remaining > 0 {
+		progressed := false
+		for s := 0; s < P; s++ {
+			for devPos[s] < len(seqs[s]) {
+				r := seqs[s][devPos[s]]
+				ready, ok := p.depReady(r, fwd, bwd)
+				if !ok {
+					break
+				}
+				o := &fwd[r.chunk][r.mb]
+				dur := p.FwdChunk
+				if !r.isFwd {
+					o = &bwd[r.chunk][r.mb]
+					dur = p.BwdChunk
+				}
+				start := devFree[s]
+				if ready > start {
+					start = ready
+				}
+				o.start, o.finish = start, start+dur
+				devFree[s] = o.finish
+				devPos[s]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("pipesim: schedule deadlocked")
+		}
+	}
+	var out []TraceOp
+	for s := 0; s < P; s++ {
+		for _, r := range seqs[s] {
+			o := fwd[r.chunk][r.mb]
+			if !r.isFwd {
+				o = bwd[r.chunk][r.mb]
+			}
+			out = append(out, TraceOp{
+				Stage: s, Chunk: r.chunk / P, Microbatch: r.mb, Forward: r.isFwd,
+				Start: o.start, Finish: o.finish,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderTimeline draws the Fig. 2-style schedule: one row per stage, time
+// flowing right, forward visits as digits (the microbatch id, uppercase
+// letters beyond 9), backward visits bracketed. width is the number of
+// character cells for the whole makespan.
+func RenderTimeline(w io.Writer, p Params, width int) error {
+	ops, res, err := Trace(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "pipeline schedule %s: p=%d v=%d n=%d — makespan %v, bubble %v\n",
+		p.Schedule, p.Stages, p.Chunks, p.Microbatches, res.Makespan, res.Bubble)
+	scale := float64(width) / float64(res.Makespan)
+	rows := make([][]byte, p.Stages)
+	for s := range rows {
+		rows[s] = []byte(strings.Repeat(".", width))
+	}
+	for _, o := range ops {
+		lo := int(float64(o.Start) * scale)
+		hi := int(float64(o.Finish) * scale)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		ch := mbChar(o.Microbatch, o.Forward)
+		for x := lo; x < hi; x++ {
+			rows[o.Stage][x] = ch
+		}
+	}
+	for s, row := range rows {
+		fmt.Fprintf(w, "stage %2d |%s|\n", s, string(row))
+	}
+	fmt.Fprintln(w, "(digits: forward visits by microbatch; letters a-z: backward visits; '.': idle)")
+	return nil
+}
+
+func mbChar(mb int, fwd bool) byte {
+	if fwd {
+		if mb < 10 {
+			return byte('0' + mb)
+		}
+		return byte('A' + (mb-10)%26)
+	}
+	return byte('a' + mb%26)
+}

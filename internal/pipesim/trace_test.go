@@ -1,0 +1,117 @@
+package pipesim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceCoversEveryOp(t *testing.T) {
+	p := Params{Stages: 4, Chunks: 2, Microbatches: 8,
+		FwdChunk: 1, BwdChunk: 2, Schedule: OneFOneB}
+	ops, res, err := Trace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * p.Stages * p.Chunks * p.Microbatches / p.Stages * p.Stages // 2·K·N ops total
+	if len(ops) != want {
+		t.Fatalf("trace has %d ops, want %d", len(ops), want)
+	}
+	for _, o := range ops {
+		if o.Finish <= o.Start {
+			t.Fatalf("op %+v has non-positive duration", o)
+		}
+		if o.Finish > res.Makespan {
+			t.Fatalf("op %+v finishes after the makespan %v", o, res.Makespan)
+		}
+	}
+}
+
+func TestTraceNoDeviceOverlap(t *testing.T) {
+	p := Params{Stages: 4, Chunks: 2, Microbatches: 8,
+		FwdChunk: 1, BwdChunk: 2, Schedule: OneFOneB}
+	ops, _, err := Trace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within one stage, ops must not overlap in time.
+	last := map[int]float64{}
+	for _, o := range ops {
+		if float64(o.Start) < last[o.Stage]-1e-9 {
+			t.Fatalf("stage %d ops overlap at %+v", o.Stage, o)
+		}
+		last[o.Stage] = float64(o.Finish)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	var b strings.Builder
+	err := RenderTimeline(&b, Params{Stages: 4, Chunks: 2, Microbatches: 6,
+		FwdChunk: 1, BwdChunk: 2, Schedule: OneFOneB}, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"stage  0", "stage  3", "makespan", "bubble"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("timeline missing %q:\n%s", frag, out)
+		}
+	}
+	// Stage 3 (last) starts later than stage 0: its row begins idle.
+	lines := strings.Split(out, "\n")
+	var s0, s3 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "stage  0") {
+			s0 = l
+		}
+		if strings.HasPrefix(l, "stage  3") {
+			s3 = l
+		}
+	}
+	if !strings.Contains(s3, "|.") {
+		t.Errorf("last stage should begin idle: %q", s3)
+	}
+	if strings.Contains(s0, "|.") {
+		t.Errorf("first stage should begin busy: %q", s0)
+	}
+}
+
+func TestRenderTimelineError(t *testing.T) {
+	var b strings.Builder
+	if err := RenderTimeline(&b, Params{}, 40); err == nil {
+		t.Fatal("invalid params must error")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var b strings.Builder
+	p := Params{Stages: 2, Chunks: 1, Microbatches: 3,
+		FwdChunk: 1, BwdChunk: 2, Schedule: OneFOneB}
+	if err := WriteChromeTrace(&b, p); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	want := 2 * p.Stages * p.Chunks * p.Microbatches
+	if len(doc.TraceEvents) != want {
+		t.Fatalf("got %d events, want %d", len(doc.TraceEvents), want)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Dur <= 0 || e.Tid < 0 || e.Tid >= p.Stages {
+			t.Fatalf("bad event %+v", e)
+		}
+	}
+	if err := WriteChromeTrace(&b, Params{}); err == nil {
+		t.Fatal("invalid params must error")
+	}
+}

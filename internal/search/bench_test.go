@@ -1,0 +1,29 @@
+package search
+
+import (
+	"testing"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/system"
+)
+
+// BenchmarkExecutionSearch measures end-to-end search throughput — the
+// paper's headline capability ("millions of combinations in only a few
+// minutes on a standard desktop computer"). The strategies-per-second
+// metric is the number to watch.
+func BenchmarkExecutionSearch(b *testing.B) {
+	m := model.MustPreset("gpt3-13B").WithBatch(64)
+	sys := system.A100(64)
+	opts := Options{Enum: execution.EnumOptions{Procs: 64, Features: execution.FeatureSeqPar, MaxInterleave: 2}}
+	var evaluated int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Execution(m, sys, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evaluated = res.Evaluated
+	}
+	b.ReportMetric(float64(evaluated)/b.Elapsed().Seconds()*float64(b.N), "strategies/s")
+}

@@ -1,0 +1,35 @@
+package search
+
+import (
+	"sort"
+
+	"calculon/internal/perf"
+)
+
+// ParetoFront returns the configurations not dominated on the
+// (batch time, first-tier memory) plane: for each one, no other result is
+// both faster and smaller. Fig. 5 of the paper highlights exactly this
+// choice — "a variety of configurations that could be chosen to minimize
+// either time or memory capacity, as desired." The front is returned
+// fastest-first (and therefore largest-memory-first).
+func ParetoFront(results []perf.Result) []perf.Result {
+	if len(results) == 0 {
+		return nil
+	}
+	sorted := append([]perf.Result(nil), results...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].BatchTime != sorted[j].BatchTime {
+			return sorted[i].BatchTime < sorted[j].BatchTime
+		}
+		return sorted[i].Mem1.Total() < sorted[j].Mem1.Total()
+	})
+	var front []perf.Result
+	bestMem := sorted[0].Mem1.Total() + 1
+	for _, r := range sorted {
+		if m := r.Mem1.Total(); m < bestMem {
+			front = append(front, r)
+			bestMem = m
+		}
+	}
+	return front
+}

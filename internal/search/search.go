@@ -1,0 +1,316 @@
+// Package search implements the paper's three search engines: the optimal
+// execution search of §5.1 (exhaustively try every execution strategy for a
+// fixed LLM and system), the optimal system-size sweep of §5.2 (repeat the
+// execution search at every processor count to expose "efficiency cliffs"),
+// and the statistics — histograms, CDFs, top-k — behind Fig. 6. Work is
+// spread over a goroutine pool; results are deterministic regardless of the
+// worker count (ties break on enumeration order).
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/perf"
+	"calculon/internal/system"
+)
+
+// Options configures an execution search.
+type Options struct {
+	// Enum bounds the strategy space (processor count, feature set, caps).
+	Enum execution.EnumOptions
+	// Workers is the goroutine-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// TopK retains the best K results for CDF analysis (0 disables).
+	TopK int
+	// CollectRates retains every feasible configuration's sample rate for
+	// histogram analysis (Fig. 6a). Costs 8 bytes per feasible point.
+	CollectRates bool
+	// Pareto maintains the time-versus-memory Pareto front across all
+	// feasible configurations (Fig. 5's "minimize either time or memory"
+	// choice). The front is kept incrementally, so memory stays bounded.
+	Pareto bool
+}
+
+// Result is the outcome of an execution search.
+type Result struct {
+	// Best is the fastest feasible configuration found.
+	Best perf.Result
+	// Top holds the TopK best results, fastest first.
+	Top []perf.Result
+	// Evaluated counts every strategy tried; Feasible those that could run
+	// (the paper's 10,957,376 vs 1,974,902 for GPT-3 175B on 4,096 GPUs).
+	Evaluated int
+	Feasible  int
+	// Rates holds every feasible sample rate when CollectRates is set.
+	Rates []float64
+	// Pareto holds the time-vs-memory front when Options.Pareto is set,
+	// fastest (and most memory-hungry) first.
+	Pareto []perf.Result
+}
+
+// Found reports whether any feasible configuration exists.
+func (r Result) Found() bool { return r.Feasible > 0 }
+
+type indexed struct {
+	seq int
+	st  execution.Strategy
+}
+
+type scored struct {
+	seq int
+	res perf.Result
+}
+
+// better reports whether a should be preferred over b: higher sample rate,
+// with enumeration order as the deterministic tie-break.
+func better(a, b scored) bool {
+	if a.res.SampleRate != b.res.SampleRate {
+		return a.res.SampleRate > b.res.SampleRate
+	}
+	return a.seq < b.seq
+}
+
+const chunkSize = 256
+
+// Execution exhaustively evaluates every strategy the options allow for the
+// model on the system and returns the best performer with statistics.
+func Execution(m model.LLM, sys system.System, opts Options) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := sys.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.Enum.Procs == 0 {
+		opts.Enum.Procs = sys.Procs
+	}
+	if err := opts.Enum.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.Enum.Features == "" {
+		opts.Enum.Features = execution.FeatureAll
+	}
+	opts.Enum.HasMem2 = sys.Mem2.Present()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	runner, err := perf.NewRunner(m, sys)
+	if err != nil {
+		return Result{}, err
+	}
+	chunks := make(chan []indexed, workers)
+	results := make(chan workerState, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			ws := workerState{topK: opts.TopK, pareto: opts.Pareto}
+			for chunk := range chunks {
+				for _, it := range chunk {
+					ws.evaluated++
+					res, err := runner.Run(it.st)
+					if err != nil {
+						continue
+					}
+					ws.add(scored{it.seq, res}, opts.CollectRates)
+				}
+			}
+			results <- ws
+		}()
+	}
+
+	buf := make([]indexed, 0, chunkSize)
+	seq := 0
+	opts.Enum.Enumerate(m, func(st execution.Strategy) bool {
+		buf = append(buf, indexed{seq, st})
+		seq++
+		if len(buf) == chunkSize {
+			chunks <- buf
+			buf = make([]indexed, 0, chunkSize)
+		}
+		return true
+	})
+	if len(buf) > 0 {
+		chunks <- buf
+	}
+	close(chunks)
+
+	merged := workerState{topK: opts.TopK, pareto: opts.Pareto}
+	for w := 0; w < workers; w++ {
+		merged.merge(<-results)
+	}
+
+	out := Result{
+		Evaluated: merged.evaluated,
+		Feasible:  merged.feasible,
+		Rates:     merged.rates,
+	}
+	if merged.feasible > 0 {
+		out.Best = merged.best.res
+		sort.Slice(merged.top, func(i, j int) bool { return better(merged.top[i], merged.top[j]) })
+		for _, s := range merged.top {
+			out.Top = append(out.Top, s.res)
+		}
+		if opts.Pareto {
+			for _, s := range compactParetoScored(merged.front) {
+				out.Pareto = append(out.Pareto, s.res)
+			}
+		}
+	}
+	return out, nil
+}
+
+// workerState accumulates per-goroutine results for a deterministic merge.
+type workerState struct {
+	evaluated int
+	feasible  int
+	best      scored
+	hasBest   bool
+	topK      int
+	top       []scored
+	rates     []float64
+	pareto    bool
+	front     []scored
+}
+
+func (ws *workerState) add(s scored, collectRates bool) {
+	ws.feasible++
+	if !ws.hasBest || better(s, ws.best) {
+		ws.best = s
+		ws.hasBest = true
+	}
+	if ws.topK > 0 {
+		ws.top = append(ws.top, s)
+		if len(ws.top) > 4*ws.topK {
+			ws.compactTop()
+		}
+	}
+	if ws.pareto {
+		ws.front = append(ws.front, s)
+		if len(ws.front) > 512 {
+			ws.front = compactParetoScored(ws.front)
+		}
+	}
+	if collectRates {
+		ws.rates = append(ws.rates, s.res.SampleRate)
+	}
+}
+
+// compactParetoScored reduces candidates to the time-vs-memory front with
+// enumeration order as the deterministic tie-break.
+func compactParetoScored(cands []scored) []scored {
+	if len(cands) == 0 {
+		return nil
+	}
+	sorted := append([]scored(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.res.BatchTime != b.res.BatchTime {
+			return a.res.BatchTime < b.res.BatchTime
+		}
+		if am, bm := a.res.Mem1.Total(), b.res.Mem1.Total(); am != bm {
+			return am < bm
+		}
+		return a.seq < b.seq
+	})
+	var front []scored
+	bestMem := sorted[0].res.Mem1.Total() + 1
+	for _, s := range sorted {
+		if m := s.res.Mem1.Total(); m < bestMem {
+			front = append(front, s)
+			bestMem = m
+		}
+	}
+	return front
+}
+
+func (ws *workerState) compactTop() {
+	sort.Slice(ws.top, func(i, j int) bool { return better(ws.top[i], ws.top[j]) })
+	ws.top = ws.top[:ws.topK]
+}
+
+func (ws *workerState) merge(o workerState) {
+	ws.evaluated += o.evaluated
+	ws.feasible += o.feasible
+	if o.hasBest && (!ws.hasBest || better(o.best, ws.best)) {
+		ws.best = o.best
+		ws.hasBest = true
+	}
+	ws.top = append(ws.top, o.top...)
+	if ws.topK > 0 && len(ws.top) > ws.topK {
+		ws.compactTop()
+	}
+	if ws.pareto {
+		ws.front = compactParetoScored(append(ws.front, o.front...))
+	}
+	ws.rates = append(ws.rates, o.rates...)
+}
+
+// ScalingPoint is one system size of a §5.2 sweep.
+type ScalingPoint struct {
+	Procs    int
+	Best     perf.Result
+	Feasible int
+	// Found is false when no configuration fits at this size (the zero-
+	// performance points of Fig. 7).
+	Found bool
+}
+
+// SystemSize runs a full execution search at each processor count,
+// producing the scaling/efficiency-cliff data of Figs. 7 and 10. Sizes are
+// evaluated concurrently across the pool inherited from opts.
+func SystemSize(m model.LLM, sysAt func(procs int) system.System, sizes []int, opts Options) ([]ScalingPoint, error) {
+	points := make([]ScalingPoint, len(sizes))
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxInt(1, runtime.GOMAXPROCS(0)/2))
+	for i, n := range sizes {
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opts
+			o.Enum.Procs = n
+			o.Workers = 2
+			res, err := Execution(m, sysAt(n), o)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("size %d: %w", n, err)
+				}
+				mu.Unlock()
+				return
+			}
+			points[i] = ScalingPoint{Procs: n, Best: res.Best, Feasible: res.Feasible, Found: res.Found()}
+		}(i, n)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return points, nil
+}
+
+// Sizes returns the multiples of step in [step, max], the x-axis of the
+// scaling studies ("considering only multiples of 8 GPUs").
+func Sizes(step, max int) []int {
+	var out []int
+	for n := step; n <= max; n += step {
+		out = append(out, n)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package search
+
+import "sort"
+
+// Histogram is a fixed-bin histogram of sample rates (Fig. 6a).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram bins the values into the given number of equal-width bins
+// spanning [min, max]. The paper's Fig. 6(a) uses 10 bins.
+func NewHistogram(values []float64, bins int) Histogram {
+	h := Histogram{Counts: make([]int, bins)}
+	if len(values) == 0 || bins <= 0 {
+		return h
+	}
+	h.Min, h.Max = values[0], values[0]
+	for _, v := range values {
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+	}
+	width := (h.Max - h.Min) / float64(bins)
+	for _, v := range values {
+		i := bins - 1
+		if width > 0 {
+			i = int((v - h.Min) / width)
+			if i >= bins {
+				i = bins - 1
+			}
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Total returns the number of binned values.
+func (h Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	Value float64
+	Frac  float64
+}
+
+// CDF returns the empirical cumulative distribution of the values,
+// ascending (Fig. 6b plots this over the top-100 sample rates).
+func CDF(values []float64) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{Value: v, Frac: float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// WithinFraction counts how many values lie within frac of the maximum —
+// the paper's "only 30 configurations ... within 10% of the best" metric.
+func WithinFraction(values []float64, frac float64) int {
+	if len(values) == 0 {
+		return 0
+	}
+	max := values[0]
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	n := 0
+	for _, v := range values {
+		if v >= max*(1-frac) {
+			n++
+		}
+	}
+	return n
+}

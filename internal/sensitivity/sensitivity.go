@@ -1,0 +1,135 @@
+// Package sensitivity quantifies §1's central codesign claim — that memory
+// capacity, memory bandwidth, processing throughput, network bandwidth, and
+// network scalability "interact with choices made in software" and must be
+// delicately balanced. For a fixed configuration it perturbs one hardware
+// resource at a time and reports the batch-time elasticity, exposing which
+// resource the configuration is actually limited by; re-running the
+// analysis under a different execution strategy shows the bottleneck move.
+package sensitivity
+
+import (
+	"fmt"
+	"io"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/perf"
+	"calculon/internal/report"
+	"calculon/internal/system"
+	"calculon/internal/units"
+)
+
+// Elasticity is one resource's effect on batch time.
+type Elasticity struct {
+	// Param names the perturbed resource.
+	Param string
+	// SpeedupPct is the batch-time improvement (positive = faster) when the
+	// resource is scaled up by the perturbation factor.
+	SpeedupPct float64
+	// SlowdownPct is the batch-time degradation when scaled down.
+	SlowdownPct float64
+	// Infeasible marks resources whose reduction makes the configuration
+	// stop fitting (capacity cliffs).
+	Infeasible bool
+}
+
+// knob is one perturbable resource.
+type knob struct {
+	name  string
+	scale func(system.System, float64) system.System
+}
+
+func knobs(sys system.System) []knob {
+	ks := []knob{
+		{"matrix throughput", func(s system.System, f float64) system.System {
+			s.Compute.MatrixPeak = units.FLOPsPerSec(float64(s.Compute.MatrixPeak) * f)
+			return s
+		}},
+		{"vector throughput", func(s system.System, f float64) system.System {
+			s.Compute.VectorPeak = units.FLOPsPerSec(float64(s.Compute.VectorPeak) * f)
+			return s
+		}},
+		{"mem1 bandwidth", func(s system.System, f float64) system.System {
+			s.Mem1.Bandwidth = units.BytesPerSec(float64(s.Mem1.Bandwidth) * f)
+			return s
+		}},
+		{"mem1 capacity", func(s system.System, f float64) system.System {
+			s.Mem1.Capacity = units.Bytes(float64(s.Mem1.Capacity) * f)
+			return s
+		}},
+	}
+	for i, n := range sys.Networks {
+		i, n := i, n
+		ks = append(ks, knob{
+			name: n.Name + " bandwidth",
+			scale: func(s system.System, f float64) system.System {
+				nets := append([]system.Network(nil), s.Networks...)
+				nets[i].Bandwidth = units.BytesPerSec(float64(nets[i].Bandwidth) * f)
+				s.Networks = nets
+				return s
+			},
+		})
+	}
+	if sys.Mem2.Present() {
+		ks = append(ks, knob{"mem2 bandwidth", func(s system.System, f float64) system.System {
+			s.Mem2.Bandwidth = units.BytesPerSec(float64(s.Mem2.Bandwidth) * f)
+			return s
+		}})
+		ks = append(ks, knob{"mem2 capacity", func(s system.System, f float64) system.System {
+			if !s.Mem2.Capacity.IsUnbounded() {
+				s.Mem2.Capacity = units.Bytes(float64(s.Mem2.Capacity) * f)
+			}
+			return s
+		}})
+	}
+	return ks
+}
+
+// Analyze perturbs each hardware resource by ±frac (e.g. 0.1 for ±10%) and
+// reports the batch-time elasticities for the configuration.
+func Analyze(m model.LLM, sys system.System, st execution.Strategy, frac float64) ([]Elasticity, error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, fmt.Errorf("sensitivity: perturbation must be in (0,1), got %g", frac)
+	}
+	base, err := perf.Run(m, sys, st)
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity: base configuration: %w", err)
+	}
+	var out []Elasticity
+	for _, k := range knobs(sys) {
+		e := Elasticity{Param: k.name}
+		up, err := perf.Run(m, k.scale(sys, 1+frac), st)
+		if err == nil {
+			e.SpeedupPct = 100 * (1 - float64(up.BatchTime)/float64(base.BatchTime))
+		}
+		down, err := perf.Run(m, k.scale(sys, 1-frac), st)
+		if err != nil {
+			e.Infeasible = true
+		} else {
+			e.SlowdownPct = 100 * (float64(down.BatchTime)/float64(base.BatchTime) - 1)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Render writes the elasticity table, largest speedup first.
+func Render(w io.Writer, frac float64, es []Elasticity) {
+	rows := [][]string{{"resource", fmt.Sprintf("+%.0f%% gives", 100*frac), fmt.Sprintf("−%.0f%% costs", 100*frac)}}
+	ordered := append([]Elasticity(nil), es...)
+	for i := 0; i < len(ordered); i++ {
+		for j := i + 1; j < len(ordered); j++ {
+			if ordered[j].SpeedupPct > ordered[i].SpeedupPct {
+				ordered[i], ordered[j] = ordered[j], ordered[i]
+			}
+		}
+	}
+	for _, e := range ordered {
+		cost := fmt.Sprintf("%+.2f%% time", e.SlowdownPct)
+		if e.Infeasible {
+			cost = "no longer fits"
+		}
+		rows = append(rows, []string{e.Param, fmt.Sprintf("%+.2f%% time", -e.SpeedupPct), cost})
+	}
+	report.Table(w, rows)
+}

@@ -1,0 +1,160 @@
+package sensitivity
+
+import (
+	"strings"
+	"testing"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/system"
+	"calculon/internal/units"
+)
+
+func config() (model.LLM, system.System, execution.Strategy) {
+	m := model.MustPreset("gpt3-175B").WithBatch(64)
+	sys := system.A100(64)
+	st := execution.Strategy{
+		TP: 8, PP: 8, DP: 1, Microbatch: 1, Interleave: 1, OneFOneB: true,
+		Recompute: execution.RecomputeFull, TPRSAG: true,
+	}
+	return m, sys, st
+}
+
+func find(t *testing.T, es []Elasticity, name string) Elasticity {
+	t.Helper()
+	for _, e := range es {
+		if e.Param == name {
+			return e
+		}
+	}
+	t.Fatalf("missing elasticity %q in %+v", name, es)
+	return Elasticity{}
+}
+
+func TestAnalyzeSigns(t *testing.T) {
+	m, sys, st := config()
+	es, err := Analyze(m, sys, st, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More of any resource never slows the batch; less never speeds it.
+	for _, e := range es {
+		if e.SpeedupPct < -1e-9 {
+			t.Errorf("%s: scaling up must not hurt (%.3f%%)", e.Param, e.SpeedupPct)
+		}
+		if !e.Infeasible && e.SlowdownPct < -1e-9 {
+			t.Errorf("%s: scaling down must not help (%.3f%%)", e.Param, e.SlowdownPct)
+		}
+	}
+	// A GEMM-dominated training configuration is most sensitive to matrix
+	// throughput.
+	matrix := find(t, es, "matrix throughput")
+	for _, e := range es {
+		if e.Param == "matrix throughput" {
+			continue
+		}
+		if e.SpeedupPct > matrix.SpeedupPct {
+			t.Errorf("matrix throughput should dominate, but %s gives %.2f%% vs %.2f%%",
+				e.Param, e.SpeedupPct, matrix.SpeedupPct)
+		}
+	}
+	// Capacity is a feasibility resource: ±10% of 80 GiB changes no timing
+	// while the configuration still fits.
+	capE := find(t, es, "mem1 capacity")
+	if capE.SpeedupPct != 0 {
+		t.Errorf("extra capacity should not speed a fitting config (%.3f%%)", capE.SpeedupPct)
+	}
+}
+
+// TestCapacityCliffDetected: shrinking capacity below the working set shows
+// up as "no longer fits" rather than a time delta.
+func TestCapacityCliffDetected(t *testing.T) {
+	m, sys, st := config()
+	base, err := Analyze(m, sys, st, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if find(t, base, "mem1 capacity").Infeasible {
+		t.Fatal("config should tolerate −10% of 80 GiB")
+	}
+	// Tighten capacity to just above the working set: −10% now breaks it.
+	tight := sys.WithMem1Capacity(48 * units.GiB) // config uses ≈45 GiB
+	es, err := Analyze(m, tight, st, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !find(t, es, "mem1 capacity").Infeasible {
+		t.Error("−10% of a tight capacity must be flagged infeasible")
+	}
+}
+
+// TestBottleneckMovesWithStrategy: with heavy exposed TP communication the
+// fast-network bandwidth matters more than under ring overlap.
+func TestBottleneckMovesWithStrategy(t *testing.T) {
+	m, sys, st := config()
+	exposed, err := Analyze(m, sys, st, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := st
+	hidden.TPOverlap = execution.TPOverlapRing
+	overlapped, err := Analyze(m, sys, hidden, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvExposed := find(t, exposed, "nvlink bandwidth").SpeedupPct
+	nvHidden := find(t, overlapped, "nvlink bandwidth").SpeedupPct
+	if !(nvHidden < nvExposed) {
+		t.Errorf("hiding TP comm should reduce NVLink sensitivity: %.2f%% vs %.2f%%",
+			nvHidden, nvExposed)
+	}
+}
+
+func TestMem2KnobsPresentOnlyWithTier(t *testing.T) {
+	m, sys, st := config()
+	es, _ := Analyze(m, sys, st, 0.1)
+	for _, e := range es {
+		if strings.HasPrefix(e.Param, "mem2") {
+			t.Fatalf("no mem2 knobs expected without a tier: %+v", e)
+		}
+	}
+	st.WeightOffload = true
+	tiered := sys.WithMem2(system.DDR5(2 * units.TiB))
+	es2, err := Analyze(m, tiered, st, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find(t, es2, "mem2 bandwidth")
+	find(t, es2, "mem2 capacity")
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	m, sys, st := config()
+	if _, err := Analyze(m, sys, st, 0); err == nil {
+		t.Error("zero perturbation must fail")
+	}
+	if _, err := Analyze(m, sys, st, 1); err == nil {
+		t.Error("100% perturbation must fail")
+	}
+	bad := st
+	bad.TP = 1000
+	if _, err := Analyze(m, sys, bad, 0.1); err == nil {
+		t.Error("infeasible base must fail")
+	}
+}
+
+func TestRenderSorted(t *testing.T) {
+	var b strings.Builder
+	Render(&b, 0.1, []Elasticity{
+		{Param: "small", SpeedupPct: 1},
+		{Param: "big", SpeedupPct: 5},
+		{Param: "broken", Infeasible: true},
+	})
+	out := b.String()
+	if !strings.Contains(out, "no longer fits") {
+		t.Errorf("missing infeasible marker:\n%s", out)
+	}
+	if strings.Index(out, "big") > strings.Index(out, "small") {
+		t.Errorf("rows not sorted by speedup:\n%s", out)
+	}
+}

@@ -1,0 +1,120 @@
+// Package tco turns performance estimates into money and time: total cost
+// of ownership for a training run. §6 of the paper argues that seemingly
+// modest efficiency gains (the 10–20% from offloading) should be judged
+// through TCO "as even small efficiency gains can accumulate during long
+// system use time"; this package makes that comparison concrete, and §1's
+// motivating arithmetic (84 days / $6M+ for Megatron-1T) is its test
+// anchor.
+package tco
+
+import (
+	"fmt"
+
+	"calculon/internal/perf"
+	"calculon/internal/units"
+)
+
+// Assumptions price a deployment.
+type Assumptions struct {
+	// CapexPerGPU is the all-in purchase price per processor (GPU + share
+	// of chassis, network, facility build-out).
+	CapexPerGPU float64
+	// AmortizationYears spreads the capex over the system's useful life.
+	AmortizationYears float64
+	// GPUPowerWatts is the average draw per processor under load.
+	GPUPowerWatts float64
+	// PUE is the facility power-usage-effectiveness multiplier.
+	PUE float64
+	// EnergyCostPerKWh is the electricity price in dollars.
+	EnergyCostPerKWh float64
+	// OpexPerGPUYear covers staffing, maintenance, and support per
+	// processor per year.
+	OpexPerGPUYear float64
+}
+
+// DefaultAssumptions are round 2023-era numbers for an A100-class
+// deployment: $25k/GPU amortized over 4 years, 500 W at PUE 1.3,
+// $0.10/kWh, $2k/GPU-year opex.
+func DefaultAssumptions() Assumptions {
+	return Assumptions{
+		CapexPerGPU:       25_000,
+		AmortizationYears: 4,
+		GPUPowerWatts:     500,
+		PUE:               1.3,
+		EnergyCostPerKWh:  0.10,
+		OpexPerGPUYear:    2_000,
+	}
+}
+
+// Validate checks the assumptions.
+func (a Assumptions) Validate() error {
+	switch {
+	case a.CapexPerGPU < 0 || a.OpexPerGPUYear < 0 || a.EnergyCostPerKWh < 0:
+		return fmt.Errorf("tco: costs must be non-negative")
+	case a.AmortizationYears <= 0:
+		return fmt.Errorf("tco: amortization years must be positive")
+	case a.GPUPowerWatts <= 0:
+		return fmt.Errorf("tco: GPU power must be positive")
+	case a.PUE < 1:
+		return fmt.Errorf("tco: PUE must be ≥1, got %g", a.PUE)
+	}
+	return nil
+}
+
+// RunCost is the cost of one training run.
+type RunCost struct {
+	// Duration is the wall-clock training time.
+	Duration units.Seconds
+	// Days is Duration in days, the unit the paper's §1 uses.
+	Days float64
+	// GPUHours is processors × duration.
+	GPUHours float64
+	// EnergyKWh is the facility energy consumed.
+	EnergyKWh float64
+	// EnergyCost, AmortizedCapex, Opex, and Total are dollars.
+	EnergyCost     float64
+	AmortizedCapex float64
+	Opex           float64
+	Total          float64
+}
+
+// TrainingRun prices training for the given number of tokens using the
+// per-batch performance estimate. Tokens per batch is batch × sequence
+// length of the estimated model.
+func TrainingRun(res perf.Result, tokens float64, a Assumptions) (RunCost, error) {
+	if err := a.Validate(); err != nil {
+		return RunCost{}, err
+	}
+	if tokens <= 0 {
+		return RunCost{}, fmt.Errorf("tco: tokens must be positive")
+	}
+	if res.SampleRate <= 0 || res.ProcsUsed <= 0 {
+		return RunCost{}, fmt.Errorf("tco: result carries no throughput")
+	}
+	tokensPerSec := res.SampleRate * float64(res.Model.Seq)
+	seconds := tokens / tokensPerSec
+
+	var c RunCost
+	c.Duration = units.Seconds(seconds)
+	c.Days = seconds / 86_400
+	hours := seconds / 3_600
+	c.GPUHours = hours * float64(res.ProcsUsed)
+	c.EnergyKWh = c.GPUHours * a.GPUPowerWatts / 1_000 * a.PUE
+	c.EnergyCost = c.EnergyKWh * a.EnergyCostPerKWh
+	years := seconds / (365.25 * 86_400)
+	c.AmortizedCapex = a.CapexPerGPU * float64(res.ProcsUsed) * years / a.AmortizationYears
+	c.Opex = a.OpexPerGPUYear * float64(res.ProcsUsed) * years
+	c.Total = c.EnergyCost + c.AmortizedCapex + c.Opex
+	return c, nil
+}
+
+// Compare returns how much money and time plan B saves over plan A for the
+// same token budget (negative values mean B is worse).
+func Compare(a, b RunCost) (dollarsSaved, daysSaved float64) {
+	return a.Total - b.Total, a.Days - b.Days
+}
+
+func (c RunCost) String() string {
+	return fmt.Sprintf("%.1f days, %.2g GPU-hours, %.3g kWh → $%.4g (capex $%.3g, energy $%.3g, opex $%.3g)",
+		c.Days, c.GPUHours, c.EnergyKWh, c.Total, c.AmortizedCapex, c.EnergyCost, c.Opex)
+}

@@ -1,0 +1,149 @@
+package tco
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/perf"
+	"calculon/internal/system"
+)
+
+func megatron1TRun(t *testing.T) perf.Result {
+	t.Helper()
+	// The paper's §1 anchor: Megatron-1T was trained on 3,072 A100s over
+	// 450B tokens in 84 days. Use a comparable configuration.
+	m := model.MustPreset("megatron-1T").WithBatch(1536)
+	st := execution.Strategy{
+		TP: 8, PP: 48, DP: 8, Microbatch: 1, Interleave: 2, OneFOneB: true,
+		Recompute: execution.RecomputeFull, TPRSAG: true,
+	}
+	r, err := perf.Run(m, system.A100(3072), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestSection1Anchor reproduces the paper's motivating arithmetic: training
+// Megatron-1T on 450B tokens over 3,072 A100s took 84 days and "roughly
+// seven hundred years on a single GPU"; at ~$1/GPU-hour that is over six
+// million dollars. The estimate must land in that regime.
+func TestSection1Anchor(t *testing.T) {
+	res := megatron1TRun(t)
+	c, err := TrainingRun(res, 450e9, DefaultAssumptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Days < 40 || c.Days > 170 {
+		t.Errorf("duration %.0f days, paper reports 84", c.Days)
+	}
+	years := c.GPUHours / 24 / 365.25
+	if years < 350 || years > 1400 {
+		t.Errorf("single-GPU equivalent %.0f years, paper reports ≈700", years)
+	}
+	// "over six million dollars (US) assuming a single GPU at $1 per hour"
+	dollarsAt1PerHour := c.GPUHours
+	if dollarsAt1PerHour < 3e6 || dollarsAt1PerHour > 13e6 {
+		t.Errorf("$1/GPU-hour cost $%.3g, paper reports >$6M", dollarsAt1PerHour)
+	}
+	if c.Total <= 0 || c.EnergyKWh <= 0 {
+		t.Errorf("implausible cost: %+v", c)
+	}
+}
+
+func TestCostScalesWithTokens(t *testing.T) {
+	res := megatron1TRun(t)
+	a := DefaultAssumptions()
+	c1, err := TrainingRun(res, 100e9, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := TrainingRun(res, 200e9, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c2.Total-2*c1.Total)/c1.Total > 1e-9 {
+		t.Errorf("cost must scale linearly with tokens: %g vs 2×%g", c2.Total, c1.Total)
+	}
+	if math.Abs(c2.Days-2*c1.Days) > 1e-9 {
+		t.Error("duration must scale linearly with tokens")
+	}
+}
+
+// TestEfficiencyGainSavesMoney is §6's TCO argument: a 15% faster
+// configuration on the same hardware saves proportional money.
+func TestEfficiencyGainSavesMoney(t *testing.T) {
+	res := megatron1TRun(t)
+	faster := res
+	faster.SampleRate *= 1.15
+	a := DefaultAssumptions()
+	base, err := TrainingRun(res, 450e9, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := TrainingRun(faster, 450e9, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dollars, days := Compare(base, opt)
+	if dollars <= 0 || days <= 0 {
+		t.Fatalf("15%% speedup must save money and time: $%.0f, %.1f days", dollars, days)
+	}
+	if rel := dollars / base.Total; math.Abs(rel-0.13) > 0.02 { // 1−1/1.15 ≈ 13%
+		t.Errorf("savings fraction %.3f, want ≈0.13", rel)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	res := megatron1TRun(t)
+	a := DefaultAssumptions()
+	c, err := TrainingRun(res, 450e9, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKWh := c.GPUHours * a.GPUPowerWatts / 1000 * a.PUE
+	if math.Abs(c.EnergyKWh-wantKWh)/wantKWh > 1e-9 {
+		t.Errorf("energy %g kWh, want %g", c.EnergyKWh, wantKWh)
+	}
+	if math.Abs(c.EnergyCost-c.EnergyKWh*a.EnergyCostPerKWh)/c.EnergyCost > 1e-9 {
+		t.Error("energy cost inconsistent")
+	}
+}
+
+func TestAssumptionValidation(t *testing.T) {
+	res := megatron1TRun(t)
+	bad := []Assumptions{
+		{CapexPerGPU: -1, AmortizationYears: 4, GPUPowerWatts: 500, PUE: 1.3},
+		{CapexPerGPU: 1, AmortizationYears: 0, GPUPowerWatts: 500, PUE: 1.3},
+		{CapexPerGPU: 1, AmortizationYears: 4, GPUPowerWatts: 0, PUE: 1.3},
+		{CapexPerGPU: 1, AmortizationYears: 4, GPUPowerWatts: 500, PUE: 0.9},
+	}
+	for i, a := range bad {
+		if _, err := TrainingRun(res, 1e9, a); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := TrainingRun(res, 0, DefaultAssumptions()); err == nil {
+		t.Error("zero tokens should fail")
+	}
+	if _, err := TrainingRun(perf.Result{}, 1e9, DefaultAssumptions()); err == nil {
+		t.Error("empty result should fail")
+	}
+}
+
+func TestRunCostString(t *testing.T) {
+	res := megatron1TRun(t)
+	c, err := TrainingRun(res, 450e9, DefaultAssumptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.String()
+	for _, frag := range []string{"days", "GPU-hours", "kWh", "capex"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q: %s", frag, s)
+		}
+	}
+}

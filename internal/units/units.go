@@ -1,0 +1,240 @@
+// Package units provides the scalar quantity types used throughout the
+// Calculon performance model: bytes, floating-point operation counts,
+// durations, bandwidths and rates. Keeping these as distinct named types
+// catches unit mix-ups at compile time while remaining plain float64s at
+// runtime, so the analytical model stays allocation-free and fast.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Bytes is a data size in bytes. Negative values are invalid everywhere
+// except as intermediate subtraction results that callers must clamp.
+type Bytes float64
+
+// FLOPs counts floating-point operations (not a rate).
+type FLOPs float64
+
+// Seconds is a duration. The model computes with float64 seconds rather than
+// time.Duration because sub-nanosecond precision matters when composing
+// per-layer times across thousands of blocks.
+type Seconds float64
+
+// BytesPerSec is a bandwidth.
+type BytesPerSec float64
+
+// FLOPsPerSec is a computational throughput.
+type FLOPsPerSec float64
+
+// Common scale factors. IEC (binary) prefixes are used for capacities,
+// SI (decimal) for bandwidths and FLOP rates, matching the paper's usage
+// (e.g. "80 GiB HBM" but "100 GB/s offload", "312 TFLOP/s").
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+	TiB Bytes = 1 << 40
+
+	KB Bytes = 1e3
+	MB Bytes = 1e6
+	GB Bytes = 1e9
+	TB Bytes = 1e12
+
+	KiloFLOP FLOPs = 1e3
+	MegaFLOP FLOPs = 1e6
+	GigaFLOP FLOPs = 1e9
+	TeraFLOP FLOPs = 1e12
+	PetaFLOP FLOPs = 1e15
+	ExaFLOP  FLOPs = 1e18
+)
+
+// Infinite capacity / bandwidth sentinels used by the offload analysis when
+// probing resource requirements (§6: "offloading memory of infinite capacity
+// and infinite bandwidth").
+const (
+	UnboundedBytes       Bytes       = Bytes(math.MaxFloat64)
+	UnboundedBytesPerSec BytesPerSec = BytesPerSec(math.MaxFloat64)
+)
+
+// IsUnbounded reports whether b is the infinite-capacity sentinel.
+func (b Bytes) IsUnbounded() bool { return b >= UnboundedBytes/2 }
+
+// IsUnbounded reports whether bw is the infinite-bandwidth sentinel.
+func (bw BytesPerSec) IsUnbounded() bool { return bw >= UnboundedBytesPerSec/2 }
+
+// Div returns the time to move b bytes at bandwidth bw. A zero bandwidth
+// yields +Inf (the configuration is infeasible, never a crash); an unbounded
+// bandwidth yields zero.
+func (b Bytes) Div(bw BytesPerSec) Seconds {
+	if bw.IsUnbounded() {
+		return 0
+	}
+	if bw <= 0 {
+		if b <= 0 {
+			return 0
+		}
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(b) / float64(bw))
+}
+
+// Div returns the time to execute f operations at rate r, with the same
+// zero/unbounded conventions as Bytes.Div.
+func (f FLOPs) Div(r FLOPsPerSec) Seconds {
+	if r <= 0 {
+		if f <= 0 {
+			return 0
+		}
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(f) / float64(r))
+}
+
+// Per returns the bandwidth that moves b bytes in t seconds.
+func (b Bytes) Per(t Seconds) BytesPerSec {
+	if t <= 0 {
+		return UnboundedBytesPerSec
+	}
+	return BytesPerSec(float64(b) / float64(t))
+}
+
+func formatScaled(v float64, unit string, steps []struct {
+	f float64
+	p string
+}) string {
+	if math.IsInf(v, 1) {
+		return "inf" + unit
+	}
+	a := math.Abs(v)
+	for _, s := range steps {
+		if a >= s.f {
+			return trimFloat(v/s.f) + s.p + unit
+		}
+	}
+	return trimFloat(v) + unit
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+var iecSteps = []struct {
+	f float64
+	p string
+}{
+	{float64(TiB), "Ti"}, {float64(GiB), "Gi"}, {float64(MiB), "Mi"}, {float64(KiB), "Ki"},
+}
+
+var siSteps = []struct {
+	f float64
+	p string
+}{
+	{1e18, "E"}, {1e15, "P"}, {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "K"},
+}
+
+// String renders the size with binary prefixes, e.g. "17.4GiB".
+func (b Bytes) String() string {
+	if b.IsUnbounded() {
+		return "infB"
+	}
+	return formatScaled(float64(b), "B", iecSteps)
+}
+
+// SI renders the size with decimal prefixes, e.g. "4TB", matching the
+// paper's offload-capacity annotations.
+func (b Bytes) SI() string {
+	if b.IsUnbounded() {
+		return "infB"
+	}
+	return formatScaled(float64(b), "B", siSteps)
+}
+
+// String renders the count with decimal prefixes, e.g. "1.23PFLOP".
+func (f FLOPs) String() string { return formatScaled(float64(f), "FLOP", siSteps) }
+
+// String renders a bandwidth with decimal prefixes, e.g. "300GB/s".
+func (bw BytesPerSec) String() string {
+	if bw.IsUnbounded() {
+		return "infB/s"
+	}
+	return formatScaled(float64(bw), "B/s", siSteps)
+}
+
+// String renders a throughput with decimal prefixes, e.g. "312TFLOP/s".
+func (r FLOPsPerSec) String() string { return formatScaled(float64(r), "FLOP/s", siSteps) }
+
+// String renders a duration with adaptive precision, e.g. "16.7s", "1.2ms".
+func (t Seconds) String() string {
+	v := float64(t)
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case v == 0:
+		return "0s"
+	case math.Abs(v) >= 1:
+		return trimFloat(v) + "s"
+	case math.Abs(v) >= 1e-3:
+		return trimFloat(v*1e3) + "ms"
+	case math.Abs(v) >= 1e-6:
+		return trimFloat(v*1e6) + "us"
+	default:
+		return trimFloat(v*1e9) + "ns"
+	}
+}
+
+// ParseBytes parses strings like "80GiB", "512 GiB", "100GB", "2T", "123".
+// A bare suffix letter (K/M/G/T) is decimal; an "i" makes it binary.
+func ParseBytes(s string) (Bytes, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("units: empty byte size")
+	}
+	if strings.EqualFold(s, "inf") || strings.EqualFold(s, "infinite") {
+		return UnboundedBytes, nil
+	}
+	i := 0
+	for i < len(s) && (s[i] == '.' || s[i] == '-' || s[i] == '+' || (s[i] >= '0' && s[i] <= '9')) {
+		i++
+	}
+	num, suffix := s[:i], strings.TrimSpace(s[i:])
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad byte size %q: %w", s, err)
+	}
+	suffix = strings.TrimSuffix(suffix, "B")
+	suffix = strings.TrimSuffix(suffix, "b")
+	var mult Bytes
+	switch strings.ToUpper(suffix) {
+	case "":
+		mult = 1
+	case "K":
+		mult = KB
+	case "M":
+		mult = MB
+	case "G":
+		mult = GB
+	case "T":
+		mult = TB
+	case "KI":
+		mult = KiB
+	case "MI":
+		mult = MiB
+	case "GI":
+		mult = GiB
+	case "TI":
+		mult = TiB
+	default:
+		return 0, fmt.Errorf("units: bad byte suffix %q in %q", suffix, s)
+	}
+	return Bytes(v) * mult, nil
+}

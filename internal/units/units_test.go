@@ -1,0 +1,174 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KiB, "1KiB"},
+		{80 * GiB, "80GiB"},
+		{Bytes(17.4 * float64(GiB)), "17.4GiB"},
+		{4 * TiB, "4TiB"},
+		{UnboundedBytes, "infB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBytesSI(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{100 * GB, "100GB"},
+		{2 * TB, "2TB"},
+		{455 * GB, "455GB"},
+		{999, "999B"},
+	}
+	for _, c := range cases {
+		if got := c.in.SI(); got != c.want {
+			t.Errorf("Bytes(%v).SI() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		in   Seconds
+		want string
+	}{
+		{0, "0s"},
+		{16.7, "16.7s"},
+		{0.0012, "1.2ms"},
+		{2.5e-6, "2.5us"},
+		{3e-10, "0.3ns"},
+		{Seconds(math.Inf(1)), "inf"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Seconds(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFLOPsAndRateString(t *testing.T) {
+	if got := (312 * TeraFLOP).String(); got != "312TFLOP" {
+		t.Errorf("FLOPs = %q", got)
+	}
+	if got := FLOPsPerSec(312e12).String(); got != "312TFLOP/s" {
+		t.Errorf("FLOPsPerSec = %q", got)
+	}
+	if got := BytesPerSec(300e9).String(); got != "300GB/s" {
+		t.Errorf("BytesPerSec = %q", got)
+	}
+}
+
+func TestDivZeroAndUnbounded(t *testing.T) {
+	if got := Bytes(100).Div(0); !math.IsInf(float64(got), 1) {
+		t.Errorf("div by zero bandwidth should be +Inf, got %v", got)
+	}
+	if got := Bytes(0).Div(0); got != 0 {
+		t.Errorf("0 bytes over 0 bandwidth should be 0, got %v", got)
+	}
+	if got := Bytes(100 * GiB).Div(UnboundedBytesPerSec); got != 0 {
+		t.Errorf("unbounded bandwidth should give 0 time, got %v", got)
+	}
+	if got := FLOPs(5).Div(0); !math.IsInf(float64(got), 1) {
+		t.Errorf("flops div by zero rate should be +Inf, got %v", got)
+	}
+	if got := FLOPs(0).Div(0); got != 0 {
+		t.Errorf("0 flops over 0 rate should be 0, got %v", got)
+	}
+}
+
+func TestDivRoundTripProperty(t *testing.T) {
+	// Property: for positive sizes and bandwidths, size/(size/time) == bw.
+	f := func(rawSize, rawBW uint32) bool {
+		size := Bytes(float64(rawSize%1e6) + 1)
+		bw := BytesPerSec(float64(rawBW%1e6) + 1)
+		tm := size.Div(bw)
+		back := size.Per(tm)
+		return math.Abs(float64(back-bw))/float64(bw) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+	}{
+		{"80GiB", 80 * GiB},
+		{"512 GiB", 512 * GiB},
+		{"100GB", 100 * GB},
+		{"1T", 1 * TB},
+		{"256Gi", 256 * GiB},
+		{"123", 123},
+		{"2.5MiB", Bytes(2.5 * float64(MiB))},
+		{"inf", UnboundedBytes},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %v, want %v", c.in, float64(got), float64(c.want))
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, in := range []string{"", "GiB", "12XB", "--3G"} {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseBytesRoundTripProperty(t *testing.T) {
+	// Property: String() output parses back to (nearly) the same value.
+	f := func(raw uint64) bool {
+		b := Bytes(raw % (1 << 45))
+		got, err := ParseBytes(b.String())
+		if err != nil {
+			return false
+		}
+		if b == 0 {
+			return got == 0
+		}
+		return math.Abs(float64(got-b))/math.Max(float64(b), 1) < 0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnboundedPredicates(t *testing.T) {
+	if !UnboundedBytes.IsUnbounded() {
+		t.Error("UnboundedBytes must report unbounded")
+	}
+	if (80 * GiB).IsUnbounded() {
+		t.Error("80GiB must not report unbounded")
+	}
+	if !UnboundedBytesPerSec.IsUnbounded() {
+		t.Error("UnboundedBytesPerSec must report unbounded")
+	}
+	if BytesPerSec(100e9).IsUnbounded() {
+		t.Error("100GB/s must not report unbounded")
+	}
+}
