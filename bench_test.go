@@ -7,6 +7,7 @@
 package calculon_test
 
 import (
+	"context"
 	"testing"
 
 	"calculon/internal/experiments"
@@ -91,7 +92,7 @@ func BenchmarkFig5OptimizationGrids(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		feasible = 0
 		for _, v := range experiments.Fig5Variants() {
-			g, err := experiments.Fig5Optimizations(v, experiments.ScaleSmall)
+			g, err := experiments.Fig5Optimizations(context.Background(), v, experiments.ScaleSmall)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -112,7 +113,7 @@ func BenchmarkFig6SearchSpace(b *testing.B) {
 	var stats experiments.Fig6Stats
 	for i := 0; i < b.N; i++ {
 		var err error
-		stats, err = experiments.Fig6SearchSpace(experiments.ScaleSmall)
+		stats, err = experiments.Fig6SearchSpace(context.Background(), experiments.ScaleSmall)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func BenchmarkFig6SearchSpace(b *testing.B) {
 func BenchmarkFig7ScalingNoOffload(b *testing.B) {
 	var worstCliff float64
 	for i := 0; i < b.N; i++ {
-		curves, err := experiments.ScalingStudy(false, experiments.ScaleSmall)
+		curves, err := experiments.ScalingStudy(context.Background(), false, experiments.ScaleSmall)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,11 +148,11 @@ func BenchmarkFig7ScalingNoOffload(b *testing.B) {
 func BenchmarkFig9Offload(b *testing.B) {
 	var maxReqGBs float64
 	for i := 0; i < b.N; i++ {
-		inf, err := experiments.Fig9Offload(true, experiments.ScaleSmall)
+		inf, err := experiments.Fig9Offload(context.Background(), true, experiments.ScaleSmall)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := experiments.Fig9Offload(false, experiments.ScaleSmall); err != nil {
+		if _, err := experiments.Fig9Offload(context.Background(), false, experiments.ScaleSmall); err != nil {
 			b.Fatal(err)
 		}
 		maxReqGBs = 0
@@ -169,7 +170,7 @@ func BenchmarkFig9Offload(b *testing.B) {
 func BenchmarkFig10ScalingOffload(b *testing.B) {
 	var worstCliff float64
 	for i := 0; i < b.N; i++ {
-		curves, err := experiments.ScalingStudy(true, experiments.ScaleSmall)
+		curves, err := experiments.ScalingStudy(context.Background(), true, experiments.ScaleSmall)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,11 +189,11 @@ func BenchmarkFig10ScalingOffload(b *testing.B) {
 func BenchmarkFig11OffloadSpeedup(b *testing.B) {
 	var maxSpeedup float64
 	for i := 0; i < b.N; i++ {
-		base, err := experiments.ScalingStudy(false, experiments.ScaleSmall)
+		base, err := experiments.ScalingStudy(context.Background(), false, experiments.ScaleSmall)
 		if err != nil {
 			b.Fatal(err)
 		}
-		off, err := experiments.ScalingStudy(true, experiments.ScaleSmall)
+		off, err := experiments.ScalingStudy(context.Background(), true, experiments.ScaleSmall)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -217,7 +218,7 @@ func BenchmarkFig11OffloadSpeedup(b *testing.B) {
 func BenchmarkTable3BudgetSearch(b *testing.B) {
 	var designs float64
 	for i := 0; i < b.N; i++ {
-		evals, err := experiments.Table3Budget(experiments.ScaleSmall)
+		evals, err := experiments.Table3Budget(context.Background(), experiments.ScaleSmall)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -231,7 +232,7 @@ func BenchmarkTable3BudgetSearch(b *testing.B) {
 func BenchmarkTable4Fig12Strategies(b *testing.B) {
 	var firstMFU, lastMFU float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table4Strategies(experiments.ScaleSmall)
+		rows, err := experiments.Table4Strategies(context.Background(), experiments.ScaleSmall)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -22,6 +22,8 @@
 package calculon
 
 import (
+	"context"
+
 	"calculon/internal/cost"
 	"calculon/internal/execution"
 	"calculon/internal/inference"
@@ -75,6 +77,11 @@ type (
 	EnumOptions = execution.EnumOptions
 	// SearchOptions configures SearchExecution.
 	SearchOptions = search.Options
+	// SearchProgress exposes live counters of a running search; attach one
+	// via SearchOptions.Progress and Snapshot it from any goroutine.
+	SearchProgress = search.Progress
+	// SearchProgressSnapshot is one observation of a running search.
+	SearchProgressSnapshot = search.ProgressSnapshot
 	// SearchResult is the outcome of SearchExecution.
 	SearchResult = search.Result
 	// ScalingPoint is one system size of a SearchSystemSize sweep.
@@ -117,20 +124,22 @@ var ErrInfeasible = perf.ErrInfeasible
 func Run(m LLM, sys System, st Strategy) (Result, error) { return perf.Run(m, sys, st) }
 
 // SearchExecution exhaustively evaluates every execution strategy for the
-// model on the system (§5.1).
-func SearchExecution(m LLM, sys System, opts SearchOptions) (SearchResult, error) {
-	return search.Execution(m, sys, opts)
+// model on the system (§5.1). Cancelling the context stops the search within
+// one work chunk; the partial counters are still returned alongside
+// ctx.Err(). Attach a SearchProgress through opts for live observability.
+func SearchExecution(ctx context.Context, m LLM, sys System, opts SearchOptions) (SearchResult, error) {
+	return search.Execution(ctx, m, sys, opts)
 }
 
 // SearchSystemSize runs a full execution search at each processor count,
 // exposing the efficiency cliffs of §5.2.
-func SearchSystemSize(m LLM, sysAt func(procs int) System, sizes []int, opts SearchOptions) ([]ScalingPoint, error) {
-	return search.SystemSize(m, sysAt, sizes, opts)
+func SearchSystemSize(ctx context.Context, m LLM, sysAt func(procs int) System, sizes []int, opts SearchOptions) ([]ScalingPoint, error) {
+	return search.SystemSize(ctx, m, sysAt, sizes, opts)
 }
 
 // SearchBudget evaluates hardware designs under a price budget (§7).
-func SearchBudget(models []LLM, designs []Design, opts BudgetOptions) ([]BudgetEvaluation, error) {
-	return cost.BudgetSearch(models, designs, opts)
+func SearchBudget(ctx context.Context, models []LLM, designs []Design, opts BudgetOptions) ([]BudgetEvaluation, error) {
+	return cost.BudgetSearch(ctx, models, designs, opts)
 }
 
 // AllDesigns returns the paper's 16 HBM×DDR design grid for SearchBudget.

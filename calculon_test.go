@@ -1,6 +1,7 @@
 package calculon_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 
 func TestPublicAPISearch(t *testing.T) {
 	m := calculon.MustPreset("gpt3-13B").WithBatch(32)
-	sr, err := calculon.SearchExecution(m, calculon.A100(32), calculon.SearchOptions{
+	sr, err := calculon.SearchExecution(context.Background(), m, calculon.A100(32), calculon.SearchOptions{
 		Enum: calculon.EnumOptions{Features: calculon.FeatureSeqPar, MaxInterleave: 2},
 		TopK: 3,
 	})
@@ -41,7 +42,7 @@ func TestPublicAPISearch(t *testing.T) {
 
 func TestPublicAPISystemSize(t *testing.T) {
 	m := calculon.MustPreset("gpt3-13B").WithBatch(32)
-	pts, err := calculon.SearchSystemSize(m,
+	pts, err := calculon.SearchSystemSize(context.Background(), m,
 		func(n int) calculon.System { return calculon.A100(n) },
 		[]int{16, 32},
 		calculon.SearchOptions{Enum: calculon.EnumOptions{Features: calculon.FeatureBaseline, MaxInterleave: 2}})

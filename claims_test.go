@@ -1,6 +1,7 @@
 package calculon_test
 
 import (
+	"context"
 	"testing"
 
 	"calculon"
@@ -28,7 +29,7 @@ func TestClaim1NoUniformBestStrategy(t *testing.T) {
 	m := calculon.MustPreset("megatron-1T").WithBatch(512)
 
 	sysA := calculon.A100(512)
-	resA, err := calculon.SearchExecution(m, sysA, searchOpts())
+	resA, err := calculon.SearchExecution(context.Background(), m, sysA, searchOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestClaim1NoUniformBestStrategy(t *testing.T) {
 	// A different system (bigger NVLink domain, more memory) moves the
 	// optimal split.
 	sysB := calculon.A100(512).WithFastDomain(32).WithMem1Capacity(160 * calculon.GiB)
-	resB, err := calculon.SearchExecution(m, sysB, searchOpts())
+	resB, err := calculon.SearchExecution(context.Background(), m, sysB, searchOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestClaim1NoUniformBestStrategy(t *testing.T) {
 func TestClaim2EfficiencyCliffs(t *testing.T) {
 	m := calculon.MustPreset("turing-530B").WithBatch(512) // 105 blocks, hard to map
 	sizes := []int{248, 256}                               // 248 = 8·31: no clean (t,p,d) factorization
-	pts, err := calculon.SearchSystemSize(m,
+	pts, err := calculon.SearchSystemSize(context.Background(), m,
 		func(n int) calculon.System { return calculon.A100(n) }, sizes, searchOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +107,7 @@ func TestClaim2EfficiencyCliffs(t *testing.T) {
 func TestClaim3OffloadTier(t *testing.T) {
 	m := calculon.MustPreset("megatron-1T").WithBatch(256)
 	bare := calculon.A100(128)
-	r1, err := calculon.SearchExecution(m, bare, searchOpts())
+	r1, err := calculon.SearchExecution(context.Background(), m, bare, searchOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestClaim3OffloadTier(t *testing.T) {
 		t.Fatal("1T should not fit on 128 bare 80-GiB GPUs")
 	}
 	tiered := bare.WithMem2(calculon.DDR5(512 * calculon.GiB))
-	r2, err := calculon.SearchExecution(m, tiered, searchOpts())
+	r2, err := calculon.SearchExecution(context.Background(), m, tiered, searchOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

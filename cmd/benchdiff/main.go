@@ -1,0 +1,205 @@
+// Command benchdiff guards search throughput against regressions: it parses
+// `go test -bench` output from stdin, extracts custom metrics (strategies/s
+// and friends), and compares them against the committed baseline in
+// BENCH_BASELINE.json. A metric that drops more than the tolerance below its
+// baseline fails the run — this is the benchmark-smoke CI gate that keeps
+// the paper's "millions of combinations in only a few minutes" property
+// honest as the code evolves.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkExecutionSearch -benchtime 1x ./internal/search |
+//	    go run ./cmd/benchdiff -baseline BENCH_BASELINE.json -tolerance 0.30
+//
+// Pass -update to rewrite the baseline from the fresh run instead of
+// comparing (do this on the reference machine after a deliberate perf
+// change). All baseline metrics are higher-is-better.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the on-disk schema of BENCH_BASELINE.json.
+type Baseline struct {
+	// Note documents where the numbers came from.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps a benchmark name (without the -N GOMAXPROCS suffix)
+	// to its higher-is-better metrics, e.g. "strategies/s": 250000.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// Measurement is one metric observed in a `go test -bench` run.
+type Measurement struct {
+	Benchmark string
+	Metric    string
+	Value     float64
+}
+
+// parseBenchOutput extracts every metric of every benchmark line in r.
+// Benchmark lines look like
+//
+//	BenchmarkExecutionSearch-8   3   401440493 ns/op   123456 strategies/s   2048 B/op   12 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs. The -N worker
+// suffix is stripped so results compare across machines.
+func parseBenchOutput(r io.Reader) ([]Measurement, error) {
+	var out []Measurement
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count — some other Benchmark-prefixed line
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			out = append(out, Measurement{Benchmark: name, Metric: fields[i+1], Value: v})
+		}
+	}
+	return out, sc.Err()
+}
+
+// compare checks every baseline metric that the fresh run also produced.
+// It returns one human-readable row per comparison and an error when any
+// metric regressed beyond the tolerance or a baseline metric is missing
+// from the run.
+func compare(base Baseline, fresh []Measurement, tolerance float64) ([]string, error) {
+	got := map[string]map[string]float64{}
+	for _, m := range fresh {
+		if got[m.Benchmark] == nil {
+			got[m.Benchmark] = map[string]float64{}
+		}
+		got[m.Benchmark][m.Metric] = m.Value
+	}
+	var rows []string
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for n := range base.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metrics := make([]string, 0, len(base.Benchmarks[name]))
+		for m := range base.Benchmarks[name] {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			want := base.Benchmarks[name][metric]
+			have, ok := got[name][metric]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s %s: missing from the fresh run", name, metric))
+				continue
+			}
+			ratio := have / want
+			row := fmt.Sprintf("%s %s: %.0f vs baseline %.0f (%+.1f%%)", name, metric, have, want, 100*(ratio-1))
+			rows = append(rows, row)
+			if have < want*(1-tolerance) {
+				failures = append(failures, row+fmt.Sprintf(" — below the %.0f%% tolerance", 100*tolerance))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return rows, fmt.Errorf("benchmark regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return rows, nil
+}
+
+// update folds the fresh measurements into the baseline, keeping only the
+// custom metrics (ns/op, B/op and allocs/op are machine noise for this
+// gate; strategies/s is the contract).
+func update(base *Baseline, fresh []Measurement) {
+	if base.Benchmarks == nil {
+		base.Benchmarks = map[string]map[string]float64{}
+	}
+	for _, m := range fresh {
+		switch m.Metric {
+		case "ns/op", "B/op", "allocs/op":
+			continue
+		}
+		if base.Benchmarks[m.Benchmark] == nil {
+			base.Benchmarks[m.Benchmark] = map[string]float64{}
+		}
+		base.Benchmarks[m.Benchmark][m.Metric] = m.Value
+	}
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional drop below baseline before failing")
+	doUpdate := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	flag.Parse()
+
+	fresh, err := parseBenchOutput(os.Stdin)
+	if err != nil {
+		return fmt.Errorf("parsing bench output: %w", err)
+	}
+	if len(fresh) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)")
+	}
+
+	if *doUpdate {
+		var base Baseline
+		if raw, err := os.ReadFile(*baselinePath); err == nil {
+			if err := json.Unmarshal(raw, &base); err != nil {
+				return fmt.Errorf("parsing %s: %w", *baselinePath, err)
+			}
+		}
+		update(&base, fresh)
+		raw, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselinePath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("updated %s\n", *baselinePath)
+		return nil
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", *baselinePath, err)
+	}
+	rows, err := compare(base, fresh, *tolerance)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	return err
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

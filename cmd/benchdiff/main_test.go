@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: calculon/internal/search
+cpu: some CPU @ 2.0GHz
+BenchmarkExecutionSearch-8   	       3	 401440493 ns/op	  123456 strategies/s	    2048 B/op	      12 allocs/op
+BenchmarkOther/sub-case-16   	     100	    123456 ns/op
+PASS
+ok  	calculon/internal/search	2.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	ms, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkExecutionSearch|ns/op":        401440493,
+		"BenchmarkExecutionSearch|strategies/s": 123456,
+		"BenchmarkExecutionSearch|B/op":         2048,
+		"BenchmarkExecutionSearch|allocs/op":    12,
+		"BenchmarkOther/sub-case|ns/op":         123456,
+	}
+	got := map[string]float64{}
+	for _, m := range ms {
+		got[m.Benchmark+"|"+m.Metric] = m.Value
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d metrics, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestParseBenchOutputStripsWorkerSuffix(t *testing.T) {
+	ms, err := parseBenchOutput(strings.NewReader("BenchmarkX-128 1 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Benchmark != "BenchmarkX" {
+		t.Fatalf("got %+v", ms)
+	}
+}
+
+func baselineWith(v float64) Baseline {
+	return Baseline{Benchmarks: map[string]map[string]float64{
+		"BenchmarkExecutionSearch": {"strategies/s": v},
+	}}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	fresh := []Measurement{{"BenchmarkExecutionSearch", "strategies/s", 80_000}}
+	rows, err := compare(baselineWith(100_000), fresh, 0.30)
+	if err != nil {
+		t.Fatalf("a 20%% drop must pass a 30%% tolerance: %v", err)
+	}
+	if len(rows) != 1 || !strings.Contains(rows[0], "-20.0%") {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	fresh := []Measurement{{"BenchmarkExecutionSearch", "strategies/s", 60_000}}
+	if _, err := compare(baselineWith(100_000), fresh, 0.30); err == nil {
+		t.Fatal("a 40% drop must fail a 30% tolerance")
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	if _, err := compare(baselineWith(100_000), nil, 0.30); err == nil {
+		t.Fatal("a baseline metric absent from the run must fail")
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	fresh := []Measurement{{"BenchmarkExecutionSearch", "strategies/s", 250_000}}
+	if _, err := compare(baselineWith(100_000), fresh, 0.30); err != nil {
+		t.Fatalf("improvements must pass: %v", err)
+	}
+}
+
+func TestUpdateKeepsOnlyCustomMetrics(t *testing.T) {
+	var base Baseline
+	update(&base, []Measurement{
+		{"BenchmarkExecutionSearch", "ns/op", 1e9},
+		{"BenchmarkExecutionSearch", "B/op", 2048},
+		{"BenchmarkExecutionSearch", "allocs/op", 12},
+		{"BenchmarkExecutionSearch", "strategies/s", 123456},
+	})
+	m := base.Benchmarks["BenchmarkExecutionSearch"]
+	if len(m) != 1 || m["strategies/s"] != 123456 {
+		t.Fatalf("baseline after update: %v", m)
+	}
+}

@@ -13,10 +13,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"calculon/internal/config"
 	"calculon/internal/execution"
@@ -33,11 +37,25 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err := dispatch(os.Args[1], os.Args[2:]); err != nil {
-		if err == errUnknownCommand {
+	// SIGINT/SIGTERM cancel the context instead of killing the process, so
+	// long sweeps shut their worker pools down cleanly and report the
+	// partial progress they made. A second signal kills immediately
+	// (signal.NotifyContext restores default handling after stop).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := dispatch(ctx, os.Args[1], os.Args[2:]); err != nil {
+		stop()
+		switch {
+		case err == errUnknownCommand:
 			fmt.Fprintf(os.Stderr, "calculon: unknown command %q\n", os.Args[1])
 			usage()
 			os.Exit(2)
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "calculon: interrupted")
+			os.Exit(130)
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintln(os.Stderr, "calculon: timed out")
+			os.Exit(124)
 		}
 		fmt.Fprintln(os.Stderr, "calculon:", err)
 		os.Exit(1)
@@ -47,15 +65,17 @@ func main() {
 // errUnknownCommand marks an unrecognized subcommand for main's exit code.
 var errUnknownCommand = fmt.Errorf("unknown command")
 
-// dispatch routes one subcommand; extracted from main for testability.
-func dispatch(cmd string, args []string) error {
+// dispatch routes one subcommand; extracted from main for testability. The
+// context carries cancellation from signals (and tests); commands that run
+// searches thread it through to the engines.
+func dispatch(ctx context.Context, cmd string, args []string) error {
 	switch cmd {
 	case "run":
 		return cmdRun(args)
 	case "search":
-		return cmdSearch(args)
+		return cmdSearch(ctx, args)
 	case "scaling":
-		return cmdScaling(args)
+		return cmdScaling(ctx, args)
 	case "timeline":
 		return cmdTimeline(args)
 	case "sensitivity":
@@ -63,9 +83,9 @@ func dispatch(cmd string, args []string) error {
 	case "infer":
 		return cmdInfer(args)
 	case "tco":
-		return cmdTCO(args)
+		return cmdTCO(ctx, args)
 	case "study":
-		return cmdStudy(args)
+		return cmdStudy(ctx, args)
 	case "calibrate":
 		return cmdCalibrate(args)
 	case "presets":
@@ -92,7 +112,11 @@ func usage() {
   calculon calibrate [-lo 0.7 -hi 1.3 -steps 25]                        refit efficiency curves vs Table 2
   calculon presets                                                      list model/system presets
 
-experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 fig11 table1 table2 table3 table4 seqscale`)
+experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 fig11 table1 table2 table3 table4 seqscale
+
+runtime flags (search, scaling, tco, study): -timeout 5m abort with partial
+progress; -progress 2s live stderr ticker; -pprof localhost:6060 and
+-cpuprofile cpu.out profiling hooks. Ctrl-C interrupts any sweep cleanly.`)
 }
 
 type commonFlags struct {
@@ -226,9 +250,10 @@ func cmdRun(args []string) error {
 	return nil
 }
 
-func cmdSearch(args []string) error {
+func cmdSearch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	c := addCommon(fs)
+	rt := addRuntime(fs)
 	features := fs.String("features", "all", "optimization family: baseline|seqpar|all")
 	topK := fs.Int("topk", 10, "print the K best configurations")
 	hist := fs.Bool("histogram", false, "print the Fig. 6-style sample-rate histogram")
@@ -242,7 +267,12 @@ func cmdSearch(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := search.Execution(m, sys, search.Options{
+	ctx, cleanup, err := rt.apply(ctx)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	opts := search.Options{
 		Enum: execution.EnumOptions{
 			Features:      execution.FeatureSet(*features),
 			MaxInterleave: *maxIl,
@@ -251,8 +281,14 @@ func cmdSearch(args []string) error {
 		TopK:         *topK,
 		CollectRates: *hist,
 		Pareto:       *pareto,
-	})
+	}
+	var prog search.Progress
+	rt.attachProgress(&opts, &prog)
+	res, err := search.Execution(ctx, m, sys, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "calculon: search stopped early — %s\n", prog.Snapshot())
+		}
 		return err
 	}
 	fmt.Printf("evaluated %d strategies, %d feasible\n", res.Evaluated, res.Feasible)
@@ -281,8 +317,9 @@ func cmdSearch(args []string) error {
 	return nil
 }
 
-func cmdStudy(args []string) error {
+func cmdStudy(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("study", flag.ExitOnError)
+	rt := addRuntime(fs)
 	full := fs.Bool("full", false, "paper-sized sweeps (minutes) instead of reduced ones")
 	asJSON := fs.Bool("json", false, "emit the experiment's data as JSON instead of rendering it")
 	if len(args) == 0 {
@@ -292,6 +329,11 @@ func cmdStudy(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	ctx, cleanup, err := rt.apply(ctx)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	scale := experiments.ScaleSmall
 	if *full {
 		scale = experiments.ScaleFull
@@ -320,13 +362,13 @@ func cmdStudy(args []string) error {
 		}
 		return emit(func() { experiments.RenderTable2(w, rows) }, rows)
 	case "table3":
-		evals, err := experiments.Table3Budget(scale)
+		evals, err := experiments.Table3Budget(ctx, scale)
 		if err != nil {
 			return err
 		}
 		return emit(func() { experiments.RenderTable3(w, evals) }, evals)
 	case "table4", "fig12":
-		rows, err := experiments.Table4Strategies(scale)
+		rows, err := experiments.Table4Strategies(ctx, scale)
 		if err != nil {
 			return err
 		}
@@ -349,7 +391,7 @@ func cmdStudy(args []string) error {
 		return emit(func() { experiments.RenderFig4(w, sweeps) }, sweeps)
 	case "fig5":
 		for _, v := range experiments.Fig5Variants() {
-			g, err := experiments.Fig5Optimizations(v, scale)
+			g, err := experiments.Fig5Optimizations(ctx, v, scale)
 			if err != nil {
 				return err
 			}
@@ -357,13 +399,13 @@ func cmdStudy(args []string) error {
 			fmt.Fprintln(w)
 		}
 	case "fig6":
-		stats, err := experiments.Fig6SearchSpace(scale)
+		stats, err := experiments.Fig6SearchSpace(ctx, scale)
 		if err != nil {
 			return err
 		}
 		return emit(func() { experiments.RenderFig6(w, stats) }, stats)
 	case "fig7", "fig10":
-		curves, err := experiments.ScalingStudy(name == "fig10", scale)
+		curves, err := experiments.ScalingStudy(ctx, name == "fig10", scale)
 		if err != nil {
 			return err
 		}
@@ -374,7 +416,7 @@ func cmdStudy(args []string) error {
 		experiments.RenderScaling(w, title, curves)
 	case "fig9":
 		for _, infinite := range []bool{true, false} {
-			g, err := experiments.Fig9Offload(infinite, scale)
+			g, err := experiments.Fig9Offload(ctx, infinite, scale)
 			if err != nil {
 				return err
 			}
@@ -382,11 +424,11 @@ func cmdStudy(args []string) error {
 			fmt.Fprintln(w)
 		}
 	case "fig11":
-		base, err := experiments.ScalingStudy(false, scale)
+		base, err := experiments.ScalingStudy(ctx, false, scale)
 		if err != nil {
 			return err
 		}
-		off, err := experiments.ScalingStudy(true, scale)
+		off, err := experiments.ScalingStudy(ctx, true, scale)
 		if err != nil {
 			return err
 		}
@@ -396,7 +438,7 @@ func cmdStudy(args []string) error {
 		}
 		experiments.RenderSpeedup(w, sp)
 	case "seqscale":
-		pts, err := experiments.SeqScale(scale)
+		pts, err := experiments.SeqScale(ctx, scale)
 		if err != nil {
 			return err
 		}

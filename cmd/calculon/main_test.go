@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -34,7 +36,7 @@ func capture(t *testing.T, fn func() error) string {
 }
 
 func TestDispatchPresets(t *testing.T) {
-	out := capture(t, func() error { return dispatch("presets", nil) })
+	out := capture(t, func() error { return dispatch(context.Background(), "presets", nil) })
 	for _, frag := range []string{"gpt3-175B", "megatron-1T", "a100-80g", "h100-80g"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("presets output missing %q", frag)
@@ -44,7 +46,7 @@ func TestDispatchPresets(t *testing.T) {
 
 func TestDispatchRun(t *testing.T) {
 	out := capture(t, func() error {
-		return dispatch("run", []string{"-model", "gpt3-13B", "-batch", "8",
+		return dispatch(context.Background(), "run", []string{"-model", "gpt3-13B", "-batch", "8",
 			"-procs", "8", "-tp", "8", "-pp", "1", "-dp", "1", "-recompute", "none", "-layers"})
 	})
 	for _, frag := range []string{"batch time", "MFU", "attn_qkv", "mlp_fc2"} {
@@ -57,7 +59,7 @@ func TestDispatchRun(t *testing.T) {
 func TestDispatchRunScenario(t *testing.T) {
 	root := repoRootForTest(t)
 	out := capture(t, func() error {
-		return dispatch("run", []string{"-scenario",
+		return dispatch(context.Background(), "run", []string{"-scenario",
 			filepath.Join(root, "configs", "scenarios", "validation-1t-full.json")})
 	})
 	if !strings.Contains(out, "megatron-1T") {
@@ -66,7 +68,7 @@ func TestDispatchRunScenario(t *testing.T) {
 }
 
 func TestDispatchStudyJSON(t *testing.T) {
-	out := capture(t, func() error { return dispatch("study", []string{"table2", "-json"}) })
+	out := capture(t, func() error { return dispatch(context.Background(), "study", []string{"table2", "-json"}) })
 	var rows []map[string]any
 	if err := json.Unmarshal([]byte(out), &rows); err != nil {
 		t.Fatalf("study -json is not valid JSON: %v", err)
@@ -78,7 +80,7 @@ func TestDispatchStudyJSON(t *testing.T) {
 
 func TestDispatchInfer(t *testing.T) {
 	out := capture(t, func() error {
-		return dispatch("infer", []string{"-model", "gpt3-13B", "-tp", "8", "-pp", "1",
+		return dispatch(context.Background(), "infer", []string{"-model", "gpt3-13B", "-tp", "8", "-pp", "1",
 			"-prompt", "128", "-gen", "16", "-serve-batch", "2"})
 	})
 	for _, frag := range []string{"prefill", "per-token", "throughput"} {
@@ -90,7 +92,7 @@ func TestDispatchInfer(t *testing.T) {
 
 func TestDispatchTimeline(t *testing.T) {
 	out := capture(t, func() error {
-		return dispatch("timeline", []string{"-model", "gpt3-13B", "-batch", "12",
+		return dispatch(context.Background(), "timeline", []string{"-model", "gpt3-13B", "-batch", "12",
 			"-tp", "4", "-pp", "4", "-interleave", "2", "-width", "80"})
 	})
 	if !strings.Contains(out, "stage  0") || !strings.Contains(out, "bubble") {
@@ -100,7 +102,7 @@ func TestDispatchTimeline(t *testing.T) {
 
 func TestDispatchSensitivity(t *testing.T) {
 	out := capture(t, func() error {
-		return dispatch("sensitivity", []string{"-model", "gpt3-13B", "-batch", "8",
+		return dispatch(context.Background(), "sensitivity", []string{"-model", "gpt3-13B", "-batch", "8",
 			"-procs", "8", "-tp", "8", "-pp", "1", "-dp", "1", "-recompute", "none"})
 	})
 	if !strings.Contains(out, "matrix throughput") {
@@ -108,8 +110,29 @@ func TestDispatchSensitivity(t *testing.T) {
 	}
 }
 
+// TestDispatchSearchCancelled is the CLI half of the graceful-shutdown
+// contract: a cancelled context (what SIGINT produces in main) makes the
+// search subcommand return context.Canceled promptly instead of running the
+// full sweep, and a -timeout produces context.DeadlineExceeded on its own.
+func TestDispatchSearchCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := dispatch(ctx, "search", []string{"-model", "gpt3-13B", "-batch", "64", "-procs", "64"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestDispatchSearchTimeout(t *testing.T) {
+	err := dispatch(context.Background(), "search", []string{"-model", "gpt3-175B", "-batch", "512",
+		"-procs", "512", "-timeout", "50ms"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
 func TestDispatchUnknown(t *testing.T) {
-	if err := dispatch("bogus", nil); err != errUnknownCommand {
+	if err := dispatch(context.Background(), "bogus", nil); err != errUnknownCommand {
 		t.Fatalf("want errUnknownCommand, got %v", err)
 	}
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -11,9 +13,10 @@ import (
 	"calculon/internal/system"
 )
 
-func cmdScaling(args []string) error {
+func cmdScaling(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("scaling", flag.ExitOnError)
 	c := addCommon(fs)
+	rt := addRuntime(fs)
 	step := fs.Int("step", 64, "system-size step")
 	max := fs.Int("max", 1024, "largest system size")
 	tol := fs.Float64("tolerance", 0.10, "right-size efficiency tolerance")
@@ -30,15 +33,26 @@ func cmdScaling(args []string) error {
 	if len(sizes) == 0 {
 		return fmt.Errorf("scaling: empty size range (step %d, max %d)", *step, *max)
 	}
-	pts, err := search.SystemSize(m, func(n int) system.System { return tmpl.WithProcs(n) },
-		sizes, search.Options{
-			Enum: execution.EnumOptions{
-				Features:      execution.FeatureAll,
-				PinBeneficial: true,
-				MaxInterleave: *maxIl,
-			},
-		})
+	ctx, cleanup, err := rt.apply(ctx)
 	if err != nil {
+		return err
+	}
+	defer cleanup()
+	opts := search.Options{
+		Enum: execution.EnumOptions{
+			Features:      execution.FeatureAll,
+			PinBeneficial: true,
+			MaxInterleave: *maxIl,
+		},
+	}
+	var prog search.Progress
+	rt.attachProgress(&opts, &prog)
+	pts, err := search.SystemSize(ctx, m, func(n int) system.System { return tmpl.WithProcs(n) },
+		sizes, opts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "calculon: sweep stopped early — %s\n", prog.Snapshot())
+		}
 		return err
 	}
 	if *asCSV {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -52,9 +53,10 @@ func cmdInfer(args []string) error {
 	return nil
 }
 
-func cmdTCO(args []string) error {
+func cmdTCO(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tco", flag.ExitOnError)
 	c := addCommon(fs)
+	rt := addRuntime(fs)
 	tokens := fs.Float64("tokens", 450e9, "training tokens")
 	capex := fs.Float64("capex", 25_000, "capex per GPU in dollars")
 	watts := fs.Float64("watts", 500, "average power per GPU")
@@ -67,13 +69,21 @@ func cmdTCO(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := search.Execution(m, sys, search.Options{
+	ctx, cleanup, err := rt.apply(ctx)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	opts := search.Options{
 		Enum: execution.EnumOptions{
 			Features:      execution.FeatureAll,
 			PinBeneficial: *pin,
 			MaxInterleave: 4,
 		},
-	})
+	}
+	var prog search.Progress
+	rt.attachProgress(&opts, &prog)
+	res, err := search.Execution(ctx, m, sys, opts)
 	if err != nil {
 		return err
 	}

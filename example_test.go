@@ -1,6 +1,7 @@
 package calculon_test
 
 import (
+	"context"
 	"fmt"
 
 	"calculon"
@@ -44,7 +45,7 @@ func ExampleRun_infeasible() {
 // a fixed system — the paper's §5.1 exhaustive search.
 func ExampleSearchExecution() {
 	m := calculon.MustPreset("gpt3-13B").WithBatch(32)
-	res, err := calculon.SearchExecution(m, calculon.A100(32), calculon.SearchOptions{
+	res, err := calculon.SearchExecution(context.Background(), m, calculon.A100(32), calculon.SearchOptions{
 		Enum: calculon.EnumOptions{Features: calculon.FeatureSeqPar, MaxInterleave: 2},
 	})
 	if err != nil {

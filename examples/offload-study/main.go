@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 	fmt.Printf("Megatron-1T (batch 256) on %d A100s\n\n", gpus)
 
 	// 1. No offload tier: the model cannot fit at this scale.
-	bare, err := calculon.SearchExecution(m, calculon.A100(gpus), searchOpts)
+	bare, err := calculon.SearchExecution(context.Background(), m, calculon.A100(gpus), searchOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func main() {
 
 	// 2. Infinite offload tier: read off what the best strategy would
 	//    consume (the §6 requirements probe).
-	inf, err := calculon.SearchExecution(m, calculon.A100(gpus).WithMem2(calculon.InfiniteMem2()), searchOpts)
+	inf, err := calculon.SearchExecution(context.Background(), m, calculon.A100(gpus).WithMem2(calculon.InfiniteMem2()), searchOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func main() {
 		inf.Best.OffloadBWRequired)
 
 	// 3. Practical tier: 512 GiB at 100 GB/s.
-	ddr, err := calculon.SearchExecution(m, calculon.A100(gpus).WithMem2(calculon.DDR5(512*calculon.GiB)), searchOpts)
+	ddr, err := calculon.SearchExecution(context.Background(), m, calculon.A100(gpus).WithMem2(calculon.DDR5(512*calculon.GiB)), searchOpts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -40,7 +41,7 @@ func main() {
 	fmt.Println()
 	fmt.Println(strings.Repeat("=", 72))
 	fmt.Println("exhaustive search over the full optimization space (80 GiB HBM):")
-	res, err := calculon.SearchExecution(m, calculon.A100(4096), calculon.SearchOptions{
+	res, err := calculon.SearchExecution(context.Background(), m, calculon.A100(4096), calculon.SearchOptions{
 		Enum: calculon.EnumOptions{
 			Features:      calculon.FeatureAll,
 			PinBeneficial: true,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ func main() {
 	// GPT-3 175B model.
 	models := []calculon.LLM{calculon.MustPreset("gpt3-175B").WithBatch(1024)}
 
-	evals, err := calculon.SearchBudget(models, calculon.AllDesigns(), calculon.BudgetOptions{
+	evals, err := calculon.SearchBudget(context.Background(), models, calculon.AllDesigns(), calculon.BudgetOptions{
 		Budget:  20e6,
 		Stride:  64,
 		MinFrac: 0.75,

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 	// The same hardware plus a 512 GiB offload tier, with the best strategy
 	// the exhaustive search can find.
 	sysOff := calculon.A100(3072).WithMem2(calculon.DDR5(512 * calculon.GiB))
-	found, err := calculon.SearchExecution(m, sysOff, calculon.SearchOptions{
+	found, err := calculon.SearchExecution(context.Background(), m, sysOff, calculon.SearchOptions{
 		Enum: calculon.EnumOptions{
 			Features:      calculon.FeatureAll,
 			PinBeneficial: true,

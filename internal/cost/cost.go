@@ -8,6 +8,7 @@
 package cost
 
 import (
+	"context"
 	"fmt"
 
 	"calculon/internal/model"
@@ -138,13 +139,19 @@ func (o SweepOptions) normalize() SweepOptions {
 // and keeps the size with the best sample rate (§7: "we sweep across the
 // system size space exhaustively finding the absolute best execution
 // strategy").
-func BudgetSearch(models []model.LLM, designs []Design, opts SweepOptions) ([]Evaluation, error) {
+func BudgetSearch(ctx context.Context, models []model.LLM, designs []Design, opts SweepOptions) ([]Evaluation, error) {
 	opts = opts.normalize()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var out []Evaluation
 	for _, d := range designs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		ev := Evaluation{Design: d, UnitPrice: d.UnitPrice(), MaxGPUs: d.MaxGPUs(opts.Budget)}
 		for _, m := range models {
-			mr, err := bestForDesign(m, d, ev.MaxGPUs, opts)
+			mr, err := bestForDesign(ctx, m, d, ev.MaxGPUs, opts)
 			if err != nil {
 				return nil, fmt.Errorf("design %v model %s: %w", d, m.Name, err)
 			}
@@ -155,14 +162,14 @@ func BudgetSearch(models []model.LLM, designs []Design, opts SweepOptions) ([]Ev
 	return out, nil
 }
 
-func bestForDesign(m model.LLM, d Design, maxGPUs int, opts SweepOptions) (ModelResult, error) {
+func bestForDesign(ctx context.Context, m model.LLM, d Design, maxGPUs int, opts SweepOptions) (ModelResult, error) {
 	mr := ModelResult{Model: m.Name}
 	min := int(float64(maxGPUs) * opts.MinFrac)
 	var sizes []int
 	for n := maxGPUs; n >= min && n >= opts.Stride; n -= opts.Stride {
 		sizes = append(sizes, n)
 	}
-	pts, err := search.SystemSize(m, func(n int) system.System { return d.System(n) }, sizes, opts.Search)
+	pts, err := search.SystemSize(ctx, m, func(n int) system.System { return d.System(n) }, sizes, opts.Search)
 	if err != nil {
 		return mr, err
 	}

@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -136,7 +137,7 @@ func TestBudgetSearchSmall(t *testing.T) {
 			Enum: execution.EnumOptions{Features: execution.FeatureSeqPar, MaxInterleave: 2},
 		},
 	}
-	evals, err := BudgetSearch([]model.LLM{m}, designs, opts)
+	evals, err := BudgetSearch(context.Background(), []model.LLM{m}, designs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,7 +15,7 @@ import (
 // affordable system sizes with a full execution search, for the three study
 // LLMs. ScaleSmall sweeps a coarse size grid near each design's cap;
 // ScaleFull uses the paper's stride of 8.
-func Table3Budget(scale Scale) ([]cost.Evaluation, error) {
+func Table3Budget(ctx context.Context, scale Scale) ([]cost.Evaluation, error) {
 	opts := cost.SweepOptions{
 		Budget:  125e6,
 		Stride:  512,
@@ -26,7 +27,7 @@ func Table3Budget(scale Scale) ([]cost.Evaluation, error) {
 		opts.MinFrac = 0.5
 		opts.Search = sweepOptions(execution.FeatureAll, 8)
 	}
-	return cost.BudgetSearch(studyModels(), cost.AllDesigns(), opts)
+	return cost.BudgetSearch(ctx, studyModels(), cost.AllDesigns(), opts)
 }
 
 // RenderTable3 writes the price/performance table in the paper's layout:

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -49,7 +50,7 @@ func TestFig3BreakdownShape(t *testing.T) {
 }
 
 func TestTable4StrategyLadder(t *testing.T) {
-	rows, err := Table4Strategies(ScaleSmall)
+	rows, err := Table4Strategies(context.Background(), ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,11 +120,11 @@ func TestFig4ParallelismShape(t *testing.T) {
 }
 
 func TestFig5GridsImprove(t *testing.T) {
-	baseline, err := Fig5Optimizations(Fig5Baseline, ScaleSmall)
+	baseline, err := Fig5Optimizations(context.Background(), Fig5Baseline, ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
-	all, err := Fig5Optimizations(Fig5All, ScaleSmall)
+	all, err := Fig5Optimizations(context.Background(), Fig5All, ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,11 +165,11 @@ func TestFig5GridsImprove(t *testing.T) {
 }
 
 func TestFig5MoreMemoryHelps(t *testing.T) {
-	g80, err := Fig5Optimizations(Fig5All, ScaleSmall)
+	g80, err := Fig5Optimizations(context.Background(), Fig5All, ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g160, err := Fig5Optimizations(Fig5All160, ScaleSmall)
+	g160, err := Fig5Optimizations(context.Background(), Fig5All160, ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestFig5MoreMemoryHelps(t *testing.T) {
 }
 
 func TestFig6NeedlesInHaystack(t *testing.T) {
-	s, err := Fig6SearchSpace(ScaleSmall)
+	s, err := Fig6SearchSpace(context.Background(), ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,11 +224,11 @@ func TestScalingStudyAndSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling sweep is slow")
 	}
-	base, err := ScalingStudy(false, ScaleSmall)
+	base, err := ScalingStudy(context.Background(), false, ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := ScalingStudy(true, ScaleSmall)
+	off, err := ScalingStudy(context.Background(), true, ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,11 +286,11 @@ func TestOffloadSpeedupMismatch(t *testing.T) {
 }
 
 func TestFig9OffloadRequirements(t *testing.T) {
-	inf, err := Fig9Offload(true, ScaleSmall)
+	inf, err := Fig9Offload(context.Background(), true, ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fin, err := Fig9Offload(false, ScaleSmall)
+	fin, err := Fig9Offload(context.Background(), false, ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestTable3BudgetSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("budget sweep is slow")
 	}
-	evals, err := Table3Budget(ScaleSmall)
+	evals, err := Table3Budget(context.Background(), ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +413,7 @@ func TestFig2ScheduleRenders(t *testing.T) {
 // attention share grows with sequence length, throughput in tokens/s falls,
 // and the optimum never abandons recomputation at very long context.
 func TestSeqScaleExtension(t *testing.T) {
-	pts, err := SeqScale(ScaleSmall)
+	pts, err := SeqScale(context.Background(), ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}

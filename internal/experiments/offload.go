@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -35,7 +36,7 @@ type Fig9Grid struct {
 // tier has unbounded capacity and bandwidth and the model reports what the
 // best configurations would consume (panels a/b); otherwise the tier is the
 // practical 512 GiB at 100 GB/s (panels c/d).
-func Fig9Offload(infinite bool, scale Scale) (Fig9Grid, error) {
+func Fig9Offload(ctx context.Context, infinite bool, scale Scale) (Fig9Grid, error) {
 	m := model.MustPreset("megatron-1T").WithBatch(4096)
 	tier := system.DDR5(512 * units.GiB)
 	title := "Fig. 9(c,d) — 512 GiB @ 100 GB/s offload memory"
@@ -60,7 +61,7 @@ func Fig9Offload(infinite bool, scale Scale) (Fig9Grid, error) {
 			opts := sweepOptions(execution.FeatureAll, 8)
 			opts.Enum.Procs = 4096
 			opts.Enum.FixedTP, opts.Enum.FixedPP, opts.Enum.FixedDP = t, p, d
-			res, err := search.Execution(m, sys, opts)
+			res, err := search.Execution(ctx, m, sys, opts)
 			if err != nil {
 				return grid, fmt.Errorf("fig9 t=%d p=%d: %w", t, p, err)
 			}

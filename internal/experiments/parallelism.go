@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -145,7 +146,7 @@ type Fig5Grid struct {
 // Fig5Optimizations reproduces one panel of Fig. 5: for every (t,p) with
 // t·p·d = 4,096 it searches the panel's optimization family for the best
 // feasible configuration under the panel's memory capacity.
-func Fig5Optimizations(variant Fig5Variant, scale Scale) (Fig5Grid, error) {
+func Fig5Optimizations(ctx context.Context, variant Fig5Variant, scale Scale) (Fig5Grid, error) {
 	m := model.MustPreset("megatron-1T").WithBatch(4096)
 	features := execution.FeatureBaseline
 	capacity := 80 * units.GiB
@@ -175,7 +176,7 @@ func Fig5Optimizations(variant Fig5Variant, scale Scale) (Fig5Grid, error) {
 			opts := sweepOptions(features, 8)
 			opts.Enum.Procs = 4096
 			opts.Enum.FixedTP, opts.Enum.FixedPP, opts.Enum.FixedDP = t, p, d
-			res, err := search.Execution(m, sys, opts)
+			res, err := search.Execution(ctx, m, sys, opts)
 			if err != nil {
 				return grid, fmt.Errorf("fig5 %s t=%d p=%d: %w", variant, t, p, err)
 			}

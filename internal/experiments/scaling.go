@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -31,7 +32,7 @@ type ScalingCurve struct {
 // ScaleSmall sweeps multiples of 312 (= 8·3·13, deliberately awkward to
 // factor so the cliffs of "sizes that do not divide evenly" show up even in
 // the reduced study) up to 4,096, plus the well-factoring 4,096 itself.
-func ScalingStudy(offload bool, scale Scale) ([]ScalingCurve, error) {
+func ScalingStudy(ctx context.Context, offload bool, scale Scale) ([]ScalingCurve, error) {
 	sizes := append(search.Sizes(312, 4095), 4096)
 	maxInterleave := 4
 	if scale == ScaleFull {
@@ -44,7 +45,7 @@ func ScalingStudy(offload bool, scale Scale) ([]ScalingCurve, error) {
 	}
 	var curves []ScalingCurve
 	for _, m := range studyModels() {
-		pts, err := search.SystemSize(m, func(n int) system.System { return sysAt(n) },
+		pts, err := search.SystemSize(ctx, m, func(n int) system.System { return sysAt(n) },
 			sizes, sweepOptions(execution.FeatureAll, maxInterleave))
 		if err != nil {
 			return nil, fmt.Errorf("scaling %s: %w", m.Name, err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -34,7 +35,7 @@ type Fig6Stats struct {
 // execution-strategy space for GPT-3 175B, collect every feasible sample
 // rate, and report the distribution. ScaleFull uses the paper's 4,096-GPU
 // system; ScaleSmall a 512-GPU one.
-func Fig6SearchSpace(scale Scale) (Fig6Stats, error) {
+func Fig6SearchSpace(ctx context.Context, scale Scale) (Fig6Stats, error) {
 	// The batch scales with the system so the small study preserves the
 	// full study's microbatch-count and bubble trade-offs.
 	procs := 512
@@ -43,7 +44,7 @@ func Fig6SearchSpace(scale Scale) (Fig6Stats, error) {
 	}
 	m := model.MustPreset("gpt3-175B").WithBatch(procs)
 	sys := system.A100(procs)
-	res, err := search.Execution(m, sys, search.Options{
+	res, err := search.Execution(ctx, m, sys, search.Options{
 		Enum: execution.EnumOptions{
 			Procs:    procs,
 			Features: execution.FeatureAll,

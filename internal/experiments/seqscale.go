@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -32,7 +33,7 @@ type SeqScalePoint struct {
 // 5·a·s²·b activation term and the s² attention FLOPs dominate, pushing the
 // optimum toward selective recomputation and more tensor parallelism — the
 // codesign question the paper's methodology is built to answer.
-func SeqScale(scale Scale) ([]SeqScalePoint, error) {
+func SeqScale(ctx context.Context, scale Scale) ([]SeqScalePoint, error) {
 	seqs := []int{2048, 8192, 32768}
 	if scale == ScaleFull {
 		seqs = []int{2048, 4096, 8192, 16384, 32768, 65536}
@@ -49,7 +50,7 @@ func SeqScale(scale Scale) ([]SeqScalePoint, error) {
 			m.Batch = 1
 		}
 		m.Name = fmt.Sprintf("gpt3-175B-s%d", s)
-		res, err := search.Execution(m, sys, sweepOptions(execution.FeatureAll, 4))
+		res, err := search.Execution(ctx, m, sys, sweepOptions(execution.FeatureAll, 4))
 		if err != nil {
 			return nil, fmt.Errorf("seqscale s=%d: %w", s, err)
 		}

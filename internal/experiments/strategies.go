@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -43,7 +44,7 @@ type StrategyRow struct {
 // search-optimal with offload memory). Megatron-1T on 4,096 A100s with a
 // global batch of 3,072 (the batch that makes the paper's
 // (t,p,d,m) = (8,1,512,6) offload row well-formed).
-func Table4Strategies(scale Scale) ([]StrategyRow, error) {
+func Table4Strategies(ctx context.Context, scale Scale) ([]StrategyRow, error) {
 	m := model.MustPreset("megatron-1T").WithBatch(3072)
 	sys := system.A100(4096)
 	sysOff := sys.WithMem2(system.DDR5(512 * units.GiB))
@@ -77,7 +78,7 @@ func Table4Strategies(scale Scale) ([]StrategyRow, error) {
 		maxIl = 0
 	}
 	swOpts := sweepOptions(execution.FeatureAll, maxIl)
-	sw, err := search.Execution(m, sys, swOpts)
+	sw, err := search.Execution(ctx, m, sys, swOpts)
 	if err != nil {
 		return nil, fmt.Errorf("table4 sw search: %w", err)
 	}
@@ -87,7 +88,7 @@ func Table4Strategies(scale Scale) ([]StrategyRow, error) {
 	rows = append(rows, StrategyRow{Name: "Calculon SW optim", Result: sw.Best, FromSearch: true})
 
 	// Row 4 — Calculon SW optimizations + offload memory.
-	off, err := search.Execution(m, sysOff, swOpts)
+	off, err := search.Execution(ctx, m, sysOff, swOpts)
 	if err != nil {
 		return nil, fmt.Errorf("table4 offload search: %w", err)
 	}

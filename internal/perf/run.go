@@ -25,10 +25,12 @@ func Run(m model.LLM, sys system.System, st execution.Strategy) (Result, error) 
 }
 
 // Runner evaluates many strategies against one fixed, pre-validated
-// (LLM, system) pair — the hot path of the exhaustive searches.
+// (LLM, system) pair — the hot path of the exhaustive searches. EnableStats
+// adds optional evaluated/infeasible counters (see RunnerStats).
 type Runner struct {
-	m   model.LLM
-	sys system.System
+	m        model.LLM
+	sys      system.System
+	counters *runnerCounters
 }
 
 // NewRunner validates the model and system once and returns an evaluator.
@@ -44,6 +46,17 @@ func NewRunner(m model.LLM, sys system.System) (*Runner, error) {
 
 // Run evaluates one strategy; see the package-level Run.
 func (r *Runner) Run(st execution.Strategy) (Result, error) {
+	res, err := r.run(st)
+	if c := r.counters; c != nil {
+		c.evaluated.Add(1)
+		if err != nil {
+			c.infeasible.Add(1)
+		}
+	}
+	return res, err
+}
+
+func (r *Runner) run(st execution.Strategy) (Result, error) {
 	m, sys := r.m, r.sys
 	st = st.Normalize()
 	if err := st.Validate(m); err != nil {

@@ -1,0 +1,47 @@
+package perf
+
+import "sync/atomic"
+
+// RunnerStats is a snapshot of a Runner's evaluation counters: how many
+// strategies it has been asked to price, and how many of those were
+// infeasible (memory overflow, structural violations, missing offload
+// tier). Feasible() derives the rest. The counters are the per-runner
+// building block of the search observability layer — callers driving a
+// Runner directly (outside search.Execution) get the same evaluated/
+// feasible accounting the search engines report.
+type RunnerStats struct {
+	Evaluated  int64
+	Infeasible int64
+}
+
+// Feasible is the number of evaluations that produced a runnable estimate.
+func (s RunnerStats) Feasible() int64 { return s.Evaluated - s.Infeasible }
+
+// runnerCounters holds the atomic counters behind RunnerStats. They live
+// behind a nil-able pointer so the default hot path — millions of Run calls
+// per second across a worker pool sharing one Runner — pays only a
+// predictable nil check, not contended atomic adds on a shared cache line.
+type runnerCounters struct {
+	evaluated  atomic.Int64
+	infeasible atomic.Int64
+}
+
+// EnableStats turns on evaluation counting for this Runner. It must be
+// called before the Runner is shared across goroutines; counting itself is
+// then safe from any number of workers.
+func (r *Runner) EnableStats() {
+	if r.counters == nil {
+		r.counters = &runnerCounters{}
+	}
+}
+
+// Stats snapshots the counters; zero values when EnableStats was not called.
+func (r *Runner) Stats() RunnerStats {
+	if r.counters == nil {
+		return RunnerStats{}
+	}
+	return RunnerStats{
+		Evaluated:  r.counters.evaluated.Load(),
+		Infeasible: r.counters.infeasible.Load(),
+	}
+}

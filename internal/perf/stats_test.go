@@ -1,0 +1,59 @@
+package perf
+
+import (
+	"sync"
+	"testing"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/system"
+)
+
+func TestRunnerStatsDisabledByDefault(t *testing.T) {
+	r, err := NewRunner(model.MustPreset("gpt3-13B").WithBatch(8), system.A100(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(execution.Strategy{TP: 8, PP: 1, DP: 1, Microbatch: 1, Interleave: 1, OneFOneB: true, Recompute: execution.RecomputeFull, OptimSharding: false}); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stats(); s != (RunnerStats{}) {
+		t.Fatalf("stats without EnableStats = %+v, want zero", s)
+	}
+}
+
+func TestRunnerStatsCountsAcrossWorkers(t *testing.T) {
+	r, err := NewRunner(model.MustPreset("gpt3-13B").WithBatch(8), system.A100(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.EnableStats()
+	feasible := execution.Strategy{TP: 8, PP: 1, DP: 1, Microbatch: 1, Interleave: 1, OneFOneB: true, Recompute: execution.RecomputeFull, OptimSharding: false}
+	infeasible := feasible
+	infeasible.WeightOffload = true // no second tier on a bare A100 system
+
+	const workers, perWorker = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Run(feasible)
+				r.Run(infeasible)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := r.Stats()
+	if s.Evaluated != 2*workers*perWorker {
+		t.Fatalf("evaluated %d, want %d", s.Evaluated, 2*workers*perWorker)
+	}
+	if s.Infeasible != workers*perWorker {
+		t.Fatalf("infeasible %d, want %d", s.Infeasible, workers*perWorker)
+	}
+	if s.Feasible() != workers*perWorker {
+		t.Fatalf("feasible %d, want %d", s.Feasible(), workers*perWorker)
+	}
+}

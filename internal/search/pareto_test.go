@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -82,13 +83,13 @@ func TestParetoFrontProperty(t *testing.T) {
 func TestPinBeneficialPreservesOptimum(t *testing.T) {
 	m := model.MustPreset("gpt3-13B").WithBatch(32)
 	sys := system.A100(32)
-	full, err := Execution(m, sys, Options{
+	full, err := Execution(context.Background(), m, sys, Options{
 		Enum: execution.EnumOptions{Procs: 32, Features: execution.FeatureAll, MaxInterleave: 2},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pinned, err := Execution(m, sys, Options{
+	pinned, err := Execution(context.Background(), m, sys, Options{
 		Enum: execution.EnumOptions{Procs: 32, Features: execution.FeatureAll, MaxInterleave: 2, PinBeneficial: true},
 	})
 	if err != nil {
@@ -109,7 +110,7 @@ func TestSearchParetoOption(t *testing.T) {
 	m := model.MustPreset("gpt3-13B").WithBatch(32)
 	sys := system.A100(32)
 	run := func(workers int) Result {
-		res, err := Execution(m, sys, Options{
+		res, err := Execution(context.Background(), m, sys, Options{
 			Enum:    execution.EnumOptions{Procs: 32, Features: execution.FeatureSeqPar, MaxInterleave: 2},
 			Workers: workers,
 			Pareto:  true,

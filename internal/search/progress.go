@@ -1,0 +1,114 @@
+package search
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a live, lock-free view into a running search. Attach one via
+// Options.Progress and read it from any goroutine — a progress ticker, an
+// HTTP status handler, a signal handler printing partial results — while the
+// search runs. Counters are flushed by the workers once per chunk, so a
+// Snapshot taken mid-flight may lag the true position by at most one chunk
+// per worker; once the search returns, the counters exactly match the
+// returned Result.
+//
+// A single Progress may be shared across several searches (SystemSize and
+// the budget sweep do this): counters and totals accumulate, and the rate
+// reflects aggregate throughput since the first search started.
+type Progress struct {
+	evaluated atomic.Int64
+	feasible  atomic.Int64
+	total     atomic.Int64
+	// startNano is the time the first search attached, in nanoseconds since
+	// the Unix epoch; zero means not started.
+	startNano atomic.Int64
+}
+
+// markStart records the wall-clock start on first attachment.
+func (p *Progress) markStart() {
+	p.startNano.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// add flushes one chunk's worth of counts.
+func (p *Progress) add(evaluated, feasible int64) {
+	if evaluated != 0 {
+		p.evaluated.Add(evaluated)
+	}
+	if feasible != 0 {
+		p.feasible.Add(feasible)
+	}
+}
+
+// AddTotal grows the expected-strategy total (used for ETA). Searches add
+// their own space size when Options.EstimateTotal is set; callers that know
+// the size in advance may add it themselves instead.
+func (p *Progress) AddTotal(n int64) { p.total.Add(n) }
+
+// Snapshot captures the counters at one instant and derives throughput and
+// an ETA. It is safe to call concurrently with the search.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	s := ProgressSnapshot{
+		Evaluated: p.evaluated.Load(),
+		Feasible:  p.feasible.Load(),
+		Total:     p.total.Load(),
+	}
+	if start := p.startNano.Load(); start != 0 {
+		s.Elapsed = time.Duration(time.Now().UnixNano() - start)
+	}
+	if secs := s.Elapsed.Seconds(); secs > 0 {
+		s.Rate = float64(s.Evaluated) / secs
+	}
+	if s.Total > s.Evaluated && s.Rate > 0 {
+		s.ETA = time.Duration(float64(s.Total-s.Evaluated) / s.Rate * float64(time.Second))
+	}
+	return s
+}
+
+// ProgressSnapshot is one observation of a running search.
+type ProgressSnapshot struct {
+	// Evaluated and Feasible mirror Result's counters, live.
+	Evaluated int64
+	Feasible  int64
+	// Total is the expected number of strategies, when known (see
+	// Options.EstimateTotal and Progress.AddTotal); 0 when unknown.
+	Total int64
+	// Elapsed is the wall-clock time since the first attached search began.
+	Elapsed time.Duration
+	// Rate is the aggregate throughput in strategies per second.
+	Rate float64
+	// ETA estimates the remaining time from Rate and Total; 0 when Total is
+	// unknown or already reached.
+	ETA time.Duration
+}
+
+// String renders a one-line status suitable for a stderr ticker, e.g.
+//
+//	evaluated 1234567/10957376 (11.3%), 456789 feasible, 250k strategies/s, ETA 39s
+func (s ProgressSnapshot) String() string {
+	out := fmt.Sprintf("evaluated %d", s.Evaluated)
+	if s.Total > 0 {
+		out += fmt.Sprintf("/%d (%.1f%%)", s.Total, 100*float64(s.Evaluated)/float64(s.Total))
+	}
+	out += fmt.Sprintf(", %d feasible", s.Feasible)
+	if s.Rate > 0 {
+		out += fmt.Sprintf(", %s strategies/s", compactCount(s.Rate))
+	}
+	if s.ETA > 0 {
+		out += fmt.Sprintf(", ETA %v", s.ETA.Round(time.Second))
+	}
+	return out
+}
+
+// compactCount renders a rate the way humans scan tickers: 250k, 1.2M.
+func compactCount(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -5,13 +5,21 @@
 // and the statistics — histograms, CDFs, top-k — behind Fig. 6. Work is
 // spread over a goroutine pool; results are deterministic regardless of the
 // worker count (ties break on enumeration order).
+//
+// Searches are cancellable and observable: every engine takes a
+// context.Context and stops within one work chunk of cancellation without
+// leaking goroutines, and an optional Progress attachment exposes live
+// evaluated/feasible counters, throughput, and an ETA (see Options).
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"calculon/internal/execution"
 	"calculon/internal/model"
@@ -34,6 +42,24 @@ type Options struct {
 	// feasible configurations (Fig. 5's "minimize either time or memory"
 	// choice). The front is kept incrementally, so memory stays bounded.
 	Pareto bool
+
+	// Progress, when non-nil, receives live counter updates the caller can
+	// Snapshot from any goroutine while the search runs. The same Progress
+	// may be shared across searches to aggregate a sweep.
+	Progress *Progress
+	// EstimateTotal pre-counts the strategy space (a fast enumeration pass
+	// with no evaluation) and adds it to Progress so snapshots carry an ETA.
+	// Ignored when Progress is nil and OnProgress is unset.
+	EstimateTotal bool
+	// OnProgress, when non-nil, is invoked about every ProgressInterval from
+	// a dedicated goroutine while the search runs, and once more,
+	// synchronously, just before Execution returns — so the final callback
+	// always carries the exact end-of-search counters (or the partial
+	// counters of a cancelled run). The callback must be safe to call from
+	// another goroutine.
+	OnProgress func(ProgressSnapshot)
+	// ProgressInterval is the OnProgress cadence; 0 means one second.
+	ProgressInterval time.Duration
 }
 
 // Result is the outcome of an execution search.
@@ -79,7 +105,16 @@ const chunkSize = 256
 
 // Execution exhaustively evaluates every strategy the options allow for the
 // model on the system and returns the best performer with statistics.
-func Execution(m model.LLM, sys system.System, opts Options) (Result, error) {
+//
+// Cancelling the context stops the search promptly — enumeration halts, each
+// worker finishes at most its current chunk, and no goroutines are leaked.
+// On cancellation the returned error is ctx.Err() and the Result still
+// carries the partial Evaluated/Feasible counters (consistent with any
+// attached Progress), though Best/Top/Pareto cover only the strategies seen.
+func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := m.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -101,6 +136,26 @@ func Execution(m model.LLM, sys system.System, opts Options) (Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	prog := opts.Progress
+	if prog == nil && opts.OnProgress != nil {
+		prog = &Progress{}
+	}
+	if prog != nil {
+		prog.markStart()
+		if opts.EstimateTotal {
+			// A counting pass is pure enumeration — orders of magnitude
+			// cheaper than evaluation — and buys the ETA in snapshots.
+			prog.AddTotal(int64(opts.Enum.Enumerate(m, func(execution.Strategy) bool { return true })))
+		}
+	}
+	if opts.OnProgress != nil {
+		stopTicker := startProgressTicker(prog, opts.OnProgress, opts.ProgressInterval)
+		defer func() {
+			stopTicker()
+			opts.OnProgress(prog.Snapshot())
+		}()
+	}
+
 	runner, err := perf.NewRunner(m, sys)
 	if err != nil {
 		return Result{}, err
@@ -111,6 +166,13 @@ func Execution(m model.LLM, sys system.System, opts Options) (Result, error) {
 		go func() {
 			ws := workerState{topK: opts.TopK, pareto: opts.Pareto}
 			for chunk := range chunks {
+				// After cancellation, keep draining so the producer's sends
+				// and close always complete, but stop evaluating.
+				if ctx.Err() != nil {
+					continue
+				}
+				before := ws.evaluated
+				feasBefore := ws.feasible
 				for _, it := range chunk {
 					ws.evaluated++
 					res, err := runner.Run(it.st)
@@ -118,6 +180,9 @@ func Execution(m model.LLM, sys system.System, opts Options) (Result, error) {
 						continue
 					}
 					ws.add(scored{it.seq, res}, opts.CollectRates)
+				}
+				if prog != nil {
+					prog.add(int64(ws.evaluated-before), int64(ws.feasible-feasBefore))
 				}
 			}
 			results <- ws
@@ -130,12 +195,16 @@ func Execution(m model.LLM, sys system.System, opts Options) (Result, error) {
 		buf = append(buf, indexed{seq, st})
 		seq++
 		if len(buf) == chunkSize {
-			chunks <- buf
+			select {
+			case chunks <- buf:
+			case <-ctx.Done():
+				return false
+			}
 			buf = make([]indexed, 0, chunkSize)
 		}
 		return true
 	})
-	if len(buf) > 0 {
+	if len(buf) > 0 && ctx.Err() == nil {
 		chunks <- buf
 	}
 	close(chunks)
@@ -162,7 +231,35 @@ func Execution(m model.LLM, sys system.System, opts Options) (Result, error) {
 			}
 		}
 	}
-	return out, nil
+	return out, ctx.Err()
+}
+
+// startProgressTicker runs cb about every interval until the returned stop
+// function is called; stop blocks until the ticker goroutine has exited, so
+// callers never leak it and never race a final synchronous callback.
+func startProgressTicker(p *Progress, cb func(ProgressSnapshot), interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				cb(p.Snapshot())
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
 }
 
 // workerState accumulates per-goroutine results for a deterministic merge.
@@ -264,7 +361,28 @@ type ScalingPoint struct {
 // SystemSize runs a full execution search at each processor count,
 // producing the scaling/efficiency-cliff data of Figs. 7 and 10. Sizes are
 // evaluated concurrently across the pool inherited from opts.
-func SystemSize(m model.LLM, sysAt func(procs int) system.System, sizes []int, opts Options) ([]ScalingPoint, error) {
+//
+// Cancellation propagates to every per-size search; on cancellation the
+// points computed so far are returned together with ctx.Err(). A Progress
+// attached through opts aggregates counters across all sizes.
+func SystemSize(ctx context.Context, m model.LLM, sysAt func(procs int) system.System, sizes []int, opts Options) ([]ScalingPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.OnProgress != nil {
+		// The sweep owns one ticker over the aggregate Progress; per-size
+		// searches only flush counters into it (their OnProgress is unset
+		// below).
+		if opts.Progress == nil {
+			opts.Progress = &Progress{}
+		}
+		opts.Progress.markStart()
+		stopTicker := startProgressTicker(opts.Progress, opts.OnProgress, opts.ProgressInterval)
+		defer func() {
+			stopTicker()
+			opts.OnProgress(opts.Progress.Snapshot())
+		}()
+	}
 	points := make([]ScalingPoint, len(sizes))
 	var firstErr error
 	var mu sync.Mutex
@@ -274,13 +392,22 @@ func SystemSize(m model.LLM, sysAt func(procs int) system.System, sizes []int, o
 		wg.Add(1)
 		go func(i, n int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
 			defer func() { <-sem }()
 			o := opts
 			o.Enum.Procs = n
 			o.Workers = 2
-			res, err := Execution(m, sysAt(n), o)
+			// The ticker belongs to the sweep's caller, not each size.
+			o.OnProgress = nil
+			res, err := Execution(ctx, m, sysAt(n), o)
 			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return
+				}
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = fmt.Errorf("size %d: %w", n, err)
@@ -295,7 +422,7 @@ func SystemSize(m model.LLM, sysAt func(procs int) system.System, sizes []int, o
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return points, nil
+	return points, ctx.Err()
 }
 
 // Sizes returns the multiples of step in [step, max], the x-axis of the

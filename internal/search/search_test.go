@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -15,7 +16,7 @@ func smallSearch(t *testing.T, workers int) Result {
 	t.Helper()
 	m := model.MustPreset("gpt3-13B").WithBatch(64)
 	sys := system.A100(64)
-	res, err := Execution(m, sys, Options{
+	res, err := Execution(context.Background(), m, sys, Options{
 		Enum:    execution.EnumOptions{Procs: 64, Features: execution.FeatureSeqPar, MaxInterleave: 2},
 		Workers: workers,
 		TopK:    10,
@@ -81,7 +82,7 @@ func TestTopKSortedAndBestFirst(t *testing.T) {
 func TestBestIsTrulyBestWithRates(t *testing.T) {
 	m := model.MustPreset("gpt3-13B").WithBatch(16)
 	sys := system.A100(16)
-	res, err := Execution(m, sys, Options{
+	res, err := Execution(context.Background(), m, sys, Options{
 		Enum:         execution.EnumOptions{Procs: 16, Features: execution.FeatureBaseline, MaxInterleave: 2},
 		CollectRates: true,
 	})
@@ -102,7 +103,7 @@ func TestExecutionInfeasibleEverywhere(t *testing.T) {
 	// Megatron-1T on 2 A100s: nothing can fit.
 	m := model.MustPreset("megatron-1T").WithBatch(2)
 	sys := system.A100(2)
-	res, err := Execution(m, sys, Options{Enum: execution.EnumOptions{Procs: 2, MaxInterleave: 1}})
+	res, err := Execution(context.Background(), m, sys, Options{Enum: execution.EnumOptions{Procs: 2, MaxInterleave: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,10 +117,10 @@ func TestExecutionInfeasibleEverywhere(t *testing.T) {
 
 func TestExecutionRejectsBadInputs(t *testing.T) {
 	sys := system.A100(8)
-	if _, err := Execution(model.LLM{}, sys, Options{}); err == nil {
+	if _, err := Execution(context.Background(), model.LLM{}, sys, Options{}); err == nil {
 		t.Error("bad model must error")
 	}
-	if _, err := Execution(model.MustPreset("gpt3-13B"), system.System{}, Options{}); err == nil {
+	if _, err := Execution(context.Background(), model.MustPreset("gpt3-13B"), system.System{}, Options{}); err == nil {
 		t.Error("bad system must error")
 	}
 }
@@ -127,7 +128,7 @@ func TestExecutionRejectsBadInputs(t *testing.T) {
 func TestSystemSizeSweep(t *testing.T) {
 	m := model.MustPreset("gpt3-13B").WithBatch(64)
 	sizes := Sizes(16, 64) // 16, 32, 48, 64
-	pts, err := SystemSize(m, func(n int) system.System { return system.A100(n) }, sizes, Options{
+	pts, err := SystemSize(context.Background(), m, func(n int) system.System { return system.A100(n) }, sizes, Options{
 		Enum: execution.EnumOptions{Features: execution.FeatureSeqPar, MaxInterleave: 2},
 	})
 	if err != nil {
@@ -174,7 +175,7 @@ func TestOffloadSearchUsesMem2(t *testing.T) {
 	// must find them when (and only when) the system has a second tier.
 	m := model.MustPreset("megatron-1T").WithBatch(8)
 	bare := system.A100(8)
-	r1, err := Execution(m, bare, Options{Enum: execution.EnumOptions{Procs: 8, MaxInterleave: 1}})
+	r1, err := Execution(context.Background(), m, bare, Options{Enum: execution.EnumOptions{Procs: 8, MaxInterleave: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestOffloadSearchUsesMem2(t *testing.T) {
 		t.Fatal("1T cannot fit on 8 bare A100s")
 	}
 	off := bare.WithMem2(system.DDR5(4 * units.TiB))
-	r2, err := Execution(m, off, Options{Enum: execution.EnumOptions{Procs: 8, MaxInterleave: 1}})
+	r2, err := Execution(context.Background(), m, off, Options{Enum: execution.EnumOptions{Procs: 8, MaxInterleave: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
