@@ -13,7 +13,9 @@
 //
 // Pass -update to rewrite the baseline from the fresh run instead of
 // comparing (do this on the reference machine after a deliberate perf
-// change). All baseline metrics are higher-is-better.
+// change). Custom metrics such as strategies/s are higher-is-better;
+// allocs/op — deterministic across machines, unlike ns/op — is kept and
+// compared lower-is-better, so allocation regressions fail the gate too.
 package main
 
 import (
@@ -33,9 +35,15 @@ type Baseline struct {
 	// Note documents where the numbers came from.
 	Note string `json:"note,omitempty"`
 	// Benchmarks maps a benchmark name (without the -N GOMAXPROCS suffix)
-	// to its higher-is-better metrics, e.g. "strategies/s": 250000.
+	// to its metrics, e.g. "strategies/s": 250000. Metrics are
+	// higher-is-better except those listed in lowerIsBetter.
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 }
+
+// lowerIsBetter marks the metrics where a larger fresh value is the
+// regression. allocs/op is the only one tracked: it is exactly reproducible
+// across machines, unlike ns/op and B/op which stay excluded as noise.
+func lowerIsBetter(metric string) bool { return metric == "allocs/op" }
 
 // Measurement is one metric observed in a `go test -bench` run.
 type Measurement struct {
@@ -116,10 +124,23 @@ func compare(base Baseline, fresh []Measurement, tolerance float64) ([]string, e
 				failures = append(failures, fmt.Sprintf("%s %s: missing from the fresh run", name, metric))
 				continue
 			}
-			ratio := have / want
-			row := fmt.Sprintf("%s %s: %.0f vs baseline %.0f (%+.1f%%)", name, metric, have, want, 100*(ratio-1))
+			delta := fmt.Sprintf("%+.1f%%", 100*(have/want-1))
+			if want == 0 {
+				delta = fmt.Sprintf("%+.0f", have-want) // a 0 baseline has no percentage
+			}
+			row := fmt.Sprintf("%s %s: %.0f vs baseline %.0f (%s)", name, metric, have, want, delta)
 			rows = append(rows, row)
-			if have < want*(1-tolerance) {
+			if lowerIsBetter(metric) {
+				// Guard the zero-allocation baseline: a want of 0 still
+				// tolerates a fraction of one alloc, not a fraction of zero.
+				limit := want
+				if limit < 1 {
+					limit = 1
+				}
+				if have > limit*(1+tolerance) {
+					failures = append(failures, row+fmt.Sprintf(" — above the %.0f%% tolerance", 100*tolerance))
+				}
+			} else if have < want*(1-tolerance) {
 				failures = append(failures, row+fmt.Sprintf(" — below the %.0f%% tolerance", 100*tolerance))
 			}
 		}
@@ -130,16 +151,16 @@ func compare(base Baseline, fresh []Measurement, tolerance float64) ([]string, e
 	return rows, nil
 }
 
-// update folds the fresh measurements into the baseline, keeping only the
-// custom metrics (ns/op, B/op and allocs/op are machine noise for this
-// gate; strategies/s is the contract).
+// update folds the fresh measurements into the baseline, keeping the custom
+// metrics and allocs/op (ns/op and B/op are machine noise for this gate;
+// strategies/s is the throughput contract and allocs/op the allocation one).
 func update(base *Baseline, fresh []Measurement) {
 	if base.Benchmarks == nil {
 		base.Benchmarks = map[string]map[string]float64{}
 	}
 	for _, m := range fresh {
 		switch m.Metric {
-		case "ns/op", "B/op", "allocs/op":
+		case "ns/op", "B/op":
 			continue
 		}
 		if base.Benchmarks[m.Benchmark] == nil {

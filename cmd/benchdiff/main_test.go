@@ -88,7 +88,7 @@ func TestCompareImprovementPasses(t *testing.T) {
 	}
 }
 
-func TestUpdateKeepsOnlyCustomMetrics(t *testing.T) {
+func TestUpdateKeepsCustomMetricsAndAllocs(t *testing.T) {
 	var base Baseline
 	update(&base, []Measurement{
 		{"BenchmarkExecutionSearch", "ns/op", 1e9},
@@ -97,7 +97,42 @@ func TestUpdateKeepsOnlyCustomMetrics(t *testing.T) {
 		{"BenchmarkExecutionSearch", "strategies/s", 123456},
 	})
 	m := base.Benchmarks["BenchmarkExecutionSearch"]
-	if len(m) != 1 || m["strategies/s"] != 123456 {
+	if len(m) != 2 || m["strategies/s"] != 123456 || m["allocs/op"] != 12 {
 		t.Fatalf("baseline after update: %v", m)
+	}
+}
+
+func baselineWithAllocs(v float64) Baseline {
+	return Baseline{Benchmarks: map[string]map[string]float64{
+		"BenchmarkRunnerMemoized": {"allocs/op": v},
+	}}
+}
+
+func TestCompareAllocsRegressionFails(t *testing.T) {
+	fresh := []Measurement{{"BenchmarkRunnerMemoized", "allocs/op", 140}}
+	if _, err := compare(baselineWithAllocs(100), fresh, 0.30); err == nil {
+		t.Fatal("a 40% allocation increase must fail a 30% tolerance")
+	}
+}
+
+func TestCompareAllocsWithinToleranceAndImprovementPass(t *testing.T) {
+	for _, v := range []float64{120, 50, 0} {
+		fresh := []Measurement{{"BenchmarkRunnerMemoized", "allocs/op", v}}
+		if _, err := compare(baselineWithAllocs(100), fresh, 0.30); err != nil {
+			t.Errorf("allocs/op %v vs baseline 100 must pass a 30%% tolerance: %v", v, err)
+		}
+	}
+}
+
+func TestCompareAllocsZeroBaselineGuard(t *testing.T) {
+	// A zero-alloc baseline tolerates a fraction of one alloc, not of zero:
+	// staying at 0 passes, gaining allocations fails.
+	if _, err := compare(baselineWithAllocs(0),
+		[]Measurement{{"BenchmarkRunnerMemoized", "allocs/op", 0}}, 0.30); err != nil {
+		t.Fatalf("0 vs 0 must pass: %v", err)
+	}
+	if _, err := compare(baselineWithAllocs(0),
+		[]Measurement{{"BenchmarkRunnerMemoized", "allocs/op", 2}}, 0.30); err == nil {
+		t.Fatal("gaining allocations over a zero baseline must fail")
 	}
 }

@@ -291,7 +291,8 @@ func cmdSearch(ctx context.Context, args []string) error {
 		}
 		return err
 	}
-	fmt.Printf("evaluated %d strategies, %d feasible\n", res.Evaluated, res.Feasible)
+	fmt.Printf("evaluated %d strategies, %d feasible (%d pre-screened, %d cache hits)\n",
+		res.Evaluated, res.Feasible, res.PreScreened, res.CacheHits)
 	if !res.Found() {
 		fmt.Println("no feasible configuration")
 		return nil

@@ -12,7 +12,7 @@ import (
 )
 
 // repoRoot walks up from the test's working directory to the module root.
-func repoRoot(t *testing.T) string {
+func repoRoot(t testing.TB) string {
 	t.Helper()
 	dir, err := os.Getwd()
 	if err != nil {

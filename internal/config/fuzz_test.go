@@ -1,0 +1,64 @@
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calculon/internal/model"
+	"calculon/internal/perf"
+	"calculon/internal/system"
+)
+
+// FuzzParseConfig throws arbitrary bytes at the JSON spec loaders — every
+// shipped asset under configs/ is a seed — and asserts the whole
+// parse → resolve → evaluate pipeline never panics. Inputs that fail to
+// parse or validate are fine (that is the error path working); what the
+// fuzzer hunts is a config that passes validation yet crashes the
+// performance model. CI runs a short-fuzztime smoke of this on every push.
+func FuzzParseConfig(f *testing.F) {
+	root := repoRoot(f)
+	err := filepath.WalkDir(filepath.Join(root, "configs"), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f.Add(data)
+		return nil
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m model.LLM
+		if err := json.Unmarshal(data, &m); err == nil {
+			_ = m.Validate()
+		}
+		var sys system.System
+		if err := json.Unmarshal(data, &sys); err == nil {
+			_ = sys.Validate()
+		}
+		var sc Scenario
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return
+		}
+		scm, scs, st, err := sc.Resolve()
+		if err != nil {
+			return
+		}
+		// A scenario that resolves cleanly must evaluate without panicking;
+		// an infeasible verdict is a valid outcome.
+		if _, err := perf.Run(scm, scs, st); err != nil && !errors.Is(err, perf.ErrInfeasible) {
+			// Non-infeasibility errors can only be validation failures, and
+			// Resolve already validated — anything else is a contract break.
+			t.Errorf("resolved scenario failed evaluation: %v", err)
+		}
+	})
+}

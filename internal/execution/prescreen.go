@@ -1,0 +1,111 @@
+package execution
+
+import (
+	"fmt"
+
+	"calculon/internal/layers"
+	"calculon/internal/model"
+	"calculon/internal/units"
+)
+
+// Limits carries the system-side bounds the analytic pre-screen checks
+// against. It is a plain-number view of the system so the execution package
+// stays on the software side of the model.
+type Limits struct {
+	// Procs is the number of processors available.
+	Procs int
+	// Mem1 is the first-level (HBM) per-processor capacity.
+	Mem1 units.Bytes
+	// Mem2 is the second-level (offload) capacity; zero when the system has
+	// no second tier.
+	Mem2 units.Bytes
+}
+
+// PreScreen is the phase-1 filter of the two-phase strategy evaluation: a
+// set of closed-form feasibility bounds cheap enough to run during
+// enumeration, rejecting obviously infeasible strategies before any
+// layer-level evaluation is built. It is conservative by construction —
+// every bound it checks is a provable lower bound on what the full
+// performance model would charge — so it never rejects a strategy the full
+// evaluation would accept, and search results are bit-identical with the
+// pre-screen on or off (only faster). The equivalence property tests pin
+// this.
+type PreScreen struct {
+	m   model.LLM
+	lim Limits
+}
+
+// NewPreScreen builds the filter for one fixed (model, limits) pair.
+func NewPreScreen(m model.LLM, lim Limits) *PreScreen {
+	return &PreScreen{m: m, lim: lim}
+}
+
+// Check reports why the strategy certainly cannot run within the limits, or
+// nil when it might be feasible and deserves a full evaluation. The strategy
+// must already be normalized and structurally valid (Validate). Check is
+// pure and safe for concurrent use.
+//
+// The memory bound replicates the weight, weight-gradient, and optimizer
+// rows of the full model's per-tier accounting exactly — those rows need no
+// layer timing, only the closed-form block weight bytes — and the remaining
+// rows (activations, gradient working space) are non-negative, so the sum
+// here is a true lower bound on each tier's total.
+func (p *PreScreen) Check(st Strategy) error {
+	if st.Procs() > p.lim.Procs {
+		return fmt.Errorf("strategy needs %d procs, system has %d", st.Procs(), p.lim.Procs)
+	}
+	if (st.WeightOffload || st.ActOffload || st.OptimOffload) && p.lim.Mem2 <= 0 {
+		return fmt.Errorf("offloading requires a second memory tier")
+	}
+
+	bp := st.BlocksPerProc(p.m)
+	blockW := layers.BlockWeightBytes(p.m, st.TP)
+	weights := blockW * units.Bytes(bp)
+
+	var mem1, mem2 units.Bytes
+	w1 := weights
+	if st.WeightOffload {
+		w1 = minB(weights, 3*blockW)
+		mem2 += weights - w1
+	}
+	mem1 += w1
+
+	if !st.Inference {
+		grads := weights
+		if st.OptimSharding && st.DPOverlap {
+			grads = minB(weights, 3*blockW+weights/units.Bytes(st.DP))
+		}
+		g1 := grads
+		if st.WeightOffload {
+			g1 = minB(grads, 3*blockW)
+			mem2 += grads - g1
+		}
+		mem1 += g1
+
+		optim := 6 * weights
+		if st.OptimSharding {
+			optim /= units.Bytes(st.DP)
+		}
+		o1 := optim
+		if st.OptimOffload {
+			o1 = minB(optim, 3*(optim/units.Bytes(bp)))
+			mem2 += optim - o1
+		}
+		mem1 += o1
+	}
+
+	if mem1 > p.lim.Mem1 {
+		return fmt.Errorf("mem1 needs at least %v of %v for weights+gradients+optimizer", mem1, p.lim.Mem1)
+	}
+	if mem2 > p.lim.Mem2 {
+		return fmt.Errorf("mem2 needs at least %v of %v for offloaded weights+gradients+optimizer", mem2, p.lim.Mem2)
+	}
+	return nil
+}
+
+func minB(a, b units.Bytes) units.Bytes {
+	if a < b {
+		return a
+	}
+	return b
+}

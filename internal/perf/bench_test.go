@@ -23,3 +23,55 @@ func BenchmarkRun(b *testing.B) {
 		}
 	}
 }
+
+// benchStrategy is the shared configuration of the cold/memoized pair below;
+// the two benchmarks differ only in whether the block-profile memo is live,
+// so their delta is the phase-2 win and their allocs/op difference is the
+// layer-graph construction the memo avoids.
+func benchStrategy() (model.LLM, system.System, execution.Strategy) {
+	return model.MustPreset("gpt3-175B").WithBatch(2048),
+		system.A100(4096),
+		execution.Strategy{TP: 8, PP: 64, DP: 4, Microbatch: 1, Interleave: 2,
+			OneFOneB: true, Recompute: execution.RecomputeFull, TPRSAG: true}
+}
+
+// BenchmarkRunnerCold evaluates with the memo disabled: every iteration
+// rebuilds the block layer graph and re-times all layers — the phase-2
+// worst case, and the regression guard for the direct path.
+func BenchmarkRunnerCold(b *testing.B) {
+	m, sys, st := benchStrategy()
+	r, err := NewRunner(m, sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.DisableMemo()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerMemoized evaluates the same strategy through a warm
+// Runner: after the first iteration the block profile comes from the memo,
+// so the steady state is the per-strategy pipeline/DP math alone. Tracked
+// by BENCH_BASELINE.json for both time and allocs/op.
+func BenchmarkRunnerMemoized(b *testing.B) {
+	m, sys, st := benchStrategy()
+	r, err := NewRunner(m, sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Run(st); err != nil { // warm the memo outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

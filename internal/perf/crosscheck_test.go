@@ -30,7 +30,6 @@ func TestBubbleMatchesDiscreteSimulation(t *testing.T) {
 			t.Fatalf("%v: %v", st, err)
 		}
 		e := newEval(m, sys, st)
-		e.computeBlocks()
 		e.tensorComm()
 		e.pipelineComm()
 		bd := e.assemble()
@@ -83,7 +82,6 @@ func TestInFlightMatchesDiscreteSimulation(t *testing.T) {
 	for _, st := range cases {
 		st = st.Normalize()
 		e := newEval(m, sys, st)
-		e.computeBlocks()
 		analytical := e.inflightMicrobatches()
 
 		simRes, err := pipesim.Simulate(pipesim.Params{

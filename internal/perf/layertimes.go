@@ -39,11 +39,11 @@ func LayerTimes(m model.LLM, sys system.System, st execution.Strategy) ([]LayerT
 	if err := st.Validate(m); err != nil {
 		return nil, infeasible("%v", err)
 	}
-	e := newEval(m, sys, st)
-	out := make([]LayerTiming, 0, len(e.ls))
-	for _, l := range e.ls {
-		ft, slack := e.opTime(l.Engine, l.FLOPs, l.Traffic)
-		bt, _ := e.opTime(l.Engine, l.BwdFLOPs, l.BwdTraffic)
+	ls := layers.Block(m, shardFor(st))
+	out := make([]LayerTiming, 0, len(ls))
+	for _, l := range ls {
+		ft, slack := opTime(sys, l.Engine, l.FLOPs, l.Traffic)
+		bt, _ := opTime(sys, l.Engine, l.BwdFLOPs, l.BwdTraffic)
 		bound := "memory"
 		if slack > 0 || l.Traffic == 0 {
 			bound = "compute"

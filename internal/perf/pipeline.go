@@ -26,7 +26,6 @@ func PipelineParams(m model.LLM, sys system.System, st execution.Strategy) (pipe
 		return pipesim.Params{}, infeasible("%v", err)
 	}
 	e := newEval(m, sys, st)
-	e.computeBlocks()
 	e.tensorComm()
 	e.pipelineComm()
 

@@ -1,6 +1,8 @@
 package perf
 
 import (
+	"sync"
+
 	"calculon/internal/comm"
 	"calculon/internal/execution"
 	"calculon/internal/layers"
@@ -21,16 +23,32 @@ func Run(m model.LLM, sys system.System, st execution.Strategy) (Result, error) 
 	if err := sys.Validate(); err != nil {
 		return Result{}, err
 	}
-	return (&Runner{m: m, sys: sys}).Run(st)
+	return newRunner(m, sys).Run(st)
 }
 
 // Runner evaluates many strategies against one fixed, pre-validated
 // (LLM, system) pair — the hot path of the exhaustive searches. EnableStats
 // adds optional evaluated/infeasible counters (see RunnerStats).
+//
+// Evaluation is two-phase. Phase 1 is an analytic pre-screen
+// (execution.PreScreen): processor-count and closed-form memory lower
+// bounds reject infeasible strategies before any layer-level state is
+// built. Phase 2 memoizes the per-block profile — layer times, traffic
+// totals, boundary bytes — which is invariant across every strategy sharing
+// a blockKey, so the search re-derives only the pipeline/DP-dependent terms
+// per strategy. Both phases are exact: results and feasibility verdicts are
+// bit-identical to the direct path (the equivalence property tests in
+// internal/search pin this), only faster. A Runner is safe for concurrent
+// use by any number of goroutines.
 type Runner struct {
 	m        model.LLM
 	sys      system.System
 	counters *runnerCounters
+
+	screen      *execution.PreScreen
+	noPreScreen bool
+	noMemo      bool
+	memo        sync.Map // blockKey -> *blockProfile
 }
 
 // NewRunner validates the model and system once and returns an evaluator.
@@ -41,36 +59,94 @@ func NewRunner(m model.LLM, sys system.System) (*Runner, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
-	return &Runner{m: m, sys: sys}, nil
+	return newRunner(m, sys), nil
+}
+
+func newRunner(m model.LLM, sys system.System) *Runner {
+	return &Runner{
+		m:   m,
+		sys: sys,
+		screen: execution.NewPreScreen(m, execution.Limits{
+			Procs: sys.Procs,
+			Mem1:  sys.Mem1.Capacity,
+			Mem2:  sys.Mem2.Capacity,
+		}),
+	}
+}
+
+// DisablePreScreen turns off the phase-1 analytic filter so every strategy
+// takes the full evaluation path. It exists as an escape hatch and as the
+// reference arm of the equivalence tests; call it before the Runner is
+// shared across goroutines.
+func (r *Runner) DisablePreScreen() { r.noPreScreen = true }
+
+// DisableMemo turns off the phase-2 block-profile cache so every evaluation
+// recomputes its layer times from scratch. It exists as an escape hatch and
+// as the reference arm of the equivalence tests; call it before the Runner
+// is shared across goroutines.
+func (r *Runner) DisableMemo() { r.noMemo = true }
+
+// RunInfo reports which fast paths one evaluation took.
+type RunInfo struct {
+	// PreScreened is true when the phase-1 analytic filter rejected the
+	// strategy before any layer-level evaluation was built. Pre-screened
+	// strategies still count as evaluated and infeasible.
+	PreScreened bool
+	// CacheHit is true when the per-block profile was served from the memo
+	// rather than recomputed.
+	CacheHit bool
 }
 
 // Run evaluates one strategy; see the package-level Run.
 func (r *Runner) Run(st execution.Strategy) (Result, error) {
-	res, err := r.run(st)
+	res, _, err := r.RunDetailed(st)
+	return res, err
+}
+
+// RunDetailed is Run plus a RunInfo describing which fast paths the
+// evaluation took, letting callers that share one Runner across workers
+// attribute pre-screen rejections and cache hits without touching shared
+// counters.
+func (r *Runner) RunDetailed(st execution.Strategy) (Result, RunInfo, error) {
+	res, info, err := r.run(st)
 	if c := r.counters; c != nil {
 		c.evaluated.Add(1)
 		if err != nil {
 			c.infeasible.Add(1)
 		}
+		if info.PreScreened {
+			c.prescreened.Add(1)
+		}
+		if info.CacheHit {
+			c.cacheHits.Add(1)
+		}
 	}
-	return res, err
+	return res, info, err
 }
 
-func (r *Runner) run(st execution.Strategy) (Result, error) {
+func (r *Runner) run(st execution.Strategy) (Result, RunInfo, error) {
 	m, sys := r.m, r.sys
 	st = st.Normalize()
 	if err := st.Validate(m); err != nil {
-		return Result{}, infeasible("%v", err)
+		return Result{}, RunInfo{}, infeasible("%v", err)
 	}
-	if st.Procs() > sys.Procs {
-		return Result{}, infeasible("strategy needs %d procs, system has %d", st.Procs(), sys.Procs)
-	}
-	if (st.WeightOffload || st.ActOffload || st.OptimOffload) && !sys.Mem2.Present() {
-		return Result{}, infeasible("offloading requires a second memory tier")
+	if r.screen != nil && !r.noPreScreen {
+		if err := r.screen.Check(st); err != nil {
+			return Result{}, RunInfo{PreScreened: true}, infeasible("%v", err)
+		}
+	} else {
+		if st.Procs() > sys.Procs {
+			return Result{}, RunInfo{}, infeasible("strategy needs %d procs, system has %d", st.Procs(), sys.Procs)
+		}
+		if (st.WeightOffload || st.ActOffload || st.OptimOffload) && !sys.Mem2.Present() {
+			return Result{}, RunInfo{}, infeasible("offloading requires a second memory tier")
+		}
 	}
 
-	e := newEval(m, sys, st)
-	e.computeBlocks()
+	prof, hit := r.profile(st)
+	info := RunInfo{CacheHit: hit}
+	var e eval
+	e.init(m, sys, st, prof)
 	e.tensorComm()
 	e.pipelineComm()
 	e.dataComm()
@@ -79,10 +155,10 @@ func (r *Runner) run(st execution.Strategy) (Result, error) {
 
 	mem1, mem2 := e.memory()
 	if mem1.Total() > sys.Mem1.Capacity {
-		return Result{}, infeasible("mem1 needs %v of %v", mem1.Total(), sys.Mem1.Capacity)
+		return Result{}, info, infeasible("mem1 needs %v of %v", mem1.Total(), sys.Mem1.Capacity)
 	}
 	if mem2.Total() > sys.Mem2.Capacity {
-		return Result{}, infeasible("mem2 needs %v of %v", mem2.Total(), sys.Mem2.Capacity)
+		return Result{}, info, infeasible("mem2 needs %v of %v", mem2.Total(), sys.Mem2.Capacity)
 	}
 
 	t := e.assemble()
@@ -103,7 +179,7 @@ func (r *Runner) run(st execution.Strategy) (Result, error) {
 	useful := units.FLOPs(float64(m.Batch)) * usefulFLOPsPerSample(m, st)
 	peak := float64(st.Procs()) * float64(sys.Compute.MatrixPeak)
 	res.MFU = float64(useful) / (float64(batch) * peak)
-	return res, nil
+	return res, info, nil
 }
 
 // usefulFLOPsPerSample is the recompute-free model FLOP count per sample
@@ -116,13 +192,112 @@ func usefulFLOPsPerSample(m model.LLM, st execution.Strategy) units.FLOPs {
 	return 3 * fwd
 }
 
-// eval carries the intermediate quantities of one evaluation.
+// blockKey is the complete set of strategy inputs the per-block profile
+// depends on: exactly the layers.Shard fields plus the recompute mode.
+// Pipeline shape (PP, DP, Interleave, schedule) and the overlap/offload/
+// sharding toggles do not reach the block layer graph or its timing, so
+// strategies differing only in those share one profile.
+type blockKey struct {
+	tp          int
+	microbatch  int
+	recompute   execution.RecomputeMode
+	seqParallel bool
+	tpRedo      bool
+	fused       bool
+	inference   bool
+}
+
+func keyFor(st execution.Strategy) blockKey {
+	return blockKey{
+		tp:          st.TP,
+		microbatch:  st.Microbatch,
+		recompute:   st.Recompute,
+		seqParallel: st.SeqParallel,
+		tpRedo:      st.TPRedoForSP,
+		fused:       st.FusedLayers,
+		inference:   st.Inference,
+	}
+}
+
+// blockProfile is the memoized phase-2 sub-result: everything derived from
+// the transformer-block layer graph for one blockKey — aggregate totals,
+// boundary bytes, and the per-microbatch forward/backward/recompute times
+// with their HBM-idle slack. It is a pure function of (model, system, key),
+// so concurrent duplicate computation is benign: every copy is bit-equal.
+type blockProfile struct {
+	tot           layers.Totals
+	boundaryBytes units.Bytes
+
+	fwd, bwd, recompute         units.Seconds
+	fwdSlack, bwdSlack, rcSlack units.Seconds
+}
+
+func shardFor(st execution.Strategy) layers.Shard {
+	return layers.Shard{
+		TP:          st.TP,
+		SeqParallel: st.SeqParallel,
+		TPRedo:      st.TPRedoForSP,
+		Fused:       st.FusedLayers,
+		Microbatch:  st.Microbatch,
+		Inference:   st.Inference,
+	}
+}
+
+// computeProfile builds the block layer graph and times one microbatch
+// through it: forward, backward, and the recompute portion selected by the
+// strategy.
+func computeProfile(m model.LLM, sys system.System, st execution.Strategy) blockProfile {
+	sh := shardFor(st)
+	ls := layers.Block(m, sh)
+	p := blockProfile{
+		tot:           layers.Sum(ls),
+		boundaryBytes: layers.BlockInputBytes(m, sh),
+	}
+	for _, l := range ls {
+		ft, fs := opTime(sys, l.Engine, l.FLOPs, l.Traffic)
+		p.fwd += ft
+		p.fwdSlack += fs
+		bt, bs := opTime(sys, l.Engine, l.BwdFLOPs, l.BwdTraffic)
+		p.bwd += bt
+		p.bwdSlack += bs
+		switch st.Recompute {
+		case execution.RecomputeFull:
+			p.recompute += ft
+			p.rcSlack += fs
+		case execution.RecomputeAttn:
+			if l.AttnGroup {
+				p.recompute += ft
+				p.rcSlack += fs
+			}
+		}
+	}
+	return p
+}
+
+// profile returns the block profile for the strategy, from the memo when
+// possible, and reports whether it was a cache hit.
+func (r *Runner) profile(st execution.Strategy) (*blockProfile, bool) {
+	if r.noMemo {
+		p := computeProfile(r.m, r.sys, st)
+		return &p, false
+	}
+	k := keyFor(st)
+	if v, ok := r.memo.Load(k); ok {
+		return v.(*blockProfile), true
+	}
+	p := computeProfile(r.m, r.sys, st)
+	v, _ := r.memo.LoadOrStore(k, &p)
+	return v.(*blockProfile), false
+}
+
+// eval carries the intermediate quantities of one evaluation. It is a plain
+// value initialized from a blockProfile — the hot path keeps it on the
+// stack.
 type eval struct {
 	m   model.LLM
 	sys system.System
 	st  execution.Strategy
 
-	ls  []layers.Layer
 	tot layers.Totals
 
 	// Derived shape quantities.
@@ -144,66 +319,51 @@ type eval struct {
 	boundaryBytes                              units.Bytes
 }
 
-func newEval(m model.LLM, sys system.System, st execution.Strategy) *eval {
-	sh := layers.Shard{
-		TP:          st.TP,
-		SeqParallel: st.SeqParallel,
-		TPRedo:      st.TPRedoForSP,
-		Fused:       st.FusedLayers,
-		Microbatch:  st.Microbatch,
-		Inference:   st.Inference,
-	}
-	ls := layers.Block(m, sh)
-	return &eval{
+// init populates the evaluation state from a (possibly memoized) block
+// profile and the strategy's pipeline shape.
+func (e *eval) init(m model.LLM, sys system.System, st execution.Strategy, prof *blockProfile) {
+	*e = eval{
 		m: m, sys: sys, st: st,
-		ls:            ls,
-		tot:           layers.Sum(ls),
-		n:             st.Microbatches(m),
-		bp:            st.BlocksPerProc(m),
-		bc:            st.BlocksPerChunk(m),
-		boundaryBytes: layers.BlockInputBytes(m, sh),
+		tot:            prof.tot,
+		n:              st.Microbatches(m),
+		bp:             st.BlocksPerProc(m),
+		bc:             st.BlocksPerChunk(m),
+		boundaryBytes:  prof.boundaryBytes,
+		blockFwd:       prof.fwd,
+		blockBwd:       prof.bwd,
+		blockRecompute: prof.recompute,
+		blockFwdSlack:  prof.fwdSlack,
+		blockBwdSlack:  prof.bwdSlack,
+		recompSlack:    prof.rcSlack,
 	}
+}
+
+// newEval builds a ready-to-use evaluation for the cold paths (layer
+// profiling, pipeline cross-validation, tests); block times are already
+// computed.
+func newEval(m model.LLM, sys system.System, st execution.Strategy) *eval {
+	prof := computeProfile(m, sys, st)
+	e := &eval{}
+	e.init(m, sys, st, &prof)
+	return e
 }
 
 // opTime applies the processing model of §2.2 to one operation: the time is
 // the maximum of raw compute and raw memory access, each with size-based
 // efficiency. slack is the HBM-idle portion usable for offload transfers.
-func (e *eval) opTime(engine layers.Engine, flops units.FLOPs, traffic units.Bytes) (t, slack units.Seconds) {
+func opTime(sys system.System, engine layers.Engine, flops units.FLOPs, traffic units.Bytes) (t, slack units.Seconds) {
 	var rate units.FLOPsPerSec
 	if engine == layers.Matrix {
-		rate = e.sys.Compute.MatrixRate(flops)
+		rate = sys.Compute.MatrixRate(flops)
 	} else {
-		rate = e.sys.Compute.VectorRate(flops)
+		rate = sys.Compute.VectorRate(flops)
 	}
 	ct := flops.Div(rate)
-	mt := e.sys.Mem1.AccessTime(traffic)
+	mt := sys.Mem1.AccessTime(traffic)
 	if ct >= mt {
 		return ct, ct - mt
 	}
 	return mt, 0
-}
-
-// computeBlocks times one microbatch through one block: forward, backward,
-// and the recompute portion selected by the strategy.
-func (e *eval) computeBlocks() {
-	for _, l := range e.ls {
-		ft, fs := e.opTime(l.Engine, l.FLOPs, l.Traffic)
-		e.blockFwd += ft
-		e.blockFwdSlack += fs
-		bt, bs := e.opTime(l.Engine, l.BwdFLOPs, l.BwdTraffic)
-		e.blockBwd += bt
-		e.blockBwdSlack += bs
-		switch e.st.Recompute {
-		case execution.RecomputeFull:
-			e.blockRecompute += ft
-			e.recompSlack += fs
-		case execution.RecomputeAttn:
-			if l.AttnGroup {
-				e.blockRecompute += ft
-				e.recompSlack += fs
-			}
-		}
-	}
 }
 
 // tensorComm prices the per-block tensor-parallel collectives and applies

@@ -3,15 +3,25 @@ package perf
 import "sync/atomic"
 
 // RunnerStats is a snapshot of a Runner's evaluation counters: how many
-// strategies it has been asked to price, and how many of those were
-// infeasible (memory overflow, structural violations, missing offload
-// tier). Feasible() derives the rest. The counters are the per-runner
-// building block of the search observability layer — callers driving a
-// Runner directly (outside search.Execution) get the same evaluated/
-// feasible accounting the search engines report.
+// strategies it has been asked to price, how many of those were infeasible
+// (memory overflow, structural violations, missing offload tier), and how
+// the two-phase fast paths contributed — PreScreened counts evaluations the
+// phase-1 analytic filter rejected before any layer-level work, CacheHits
+// counts evaluations whose block profile was served from the phase-2 memo.
+// Feasible() derives the rest. The counters are the per-runner building
+// block of the search observability layer — callers driving a Runner
+// directly (outside search.Execution) get the same evaluated/feasible
+// accounting the search engines report.
 type RunnerStats struct {
 	Evaluated  int64
 	Infeasible int64
+	// PreScreened is the subset of Infeasible rejected by the analytic
+	// pre-screen (always <= Infeasible; the verdicts are identical either
+	// way, the pre-screen is just cheaper).
+	PreScreened int64
+	// CacheHits is the subset of Evaluated that reused a memoized block
+	// profile instead of rebuilding the layer graph.
+	CacheHits int64
 }
 
 // Feasible is the number of evaluations that produced a runnable estimate.
@@ -22,8 +32,10 @@ func (s RunnerStats) Feasible() int64 { return s.Evaluated - s.Infeasible }
 // per second across a worker pool sharing one Runner — pays only a
 // predictable nil check, not contended atomic adds on a shared cache line.
 type runnerCounters struct {
-	evaluated  atomic.Int64
-	infeasible atomic.Int64
+	evaluated   atomic.Int64
+	infeasible  atomic.Int64
+	prescreened atomic.Int64
+	cacheHits   atomic.Int64
 }
 
 // EnableStats turns on evaluation counting for this Runner. It must be
@@ -41,7 +53,9 @@ func (r *Runner) Stats() RunnerStats {
 		return RunnerStats{}
 	}
 	return RunnerStats{
-		Evaluated:  r.counters.evaluated.Load(),
-		Infeasible: r.counters.infeasible.Load(),
+		Evaluated:   r.counters.evaluated.Load(),
+		Infeasible:  r.counters.infeasible.Load(),
+		PreScreened: r.counters.prescreened.Load(),
+		CacheHits:   r.counters.cacheHits.Load(),
 	}
 }

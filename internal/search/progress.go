@@ -18,9 +18,11 @@ import (
 // the budget sweep do this): counters and totals accumulate, and the rate
 // reflects aggregate throughput since the first search started.
 type Progress struct {
-	evaluated atomic.Int64
-	feasible  atomic.Int64
-	total     atomic.Int64
+	evaluated   atomic.Int64
+	feasible    atomic.Int64
+	prescreened atomic.Int64
+	cacheHits   atomic.Int64
+	total       atomic.Int64
 	// startNano is the time the first search attached, in nanoseconds since
 	// the Unix epoch; zero means not started.
 	startNano atomic.Int64
@@ -31,13 +33,27 @@ func (p *Progress) markStart() {
 	p.startNano.CompareAndSwap(0, time.Now().UnixNano())
 }
 
+// progressDelta is one chunk's worth of counter increments.
+type progressDelta struct {
+	evaluated   int64
+	feasible    int64
+	prescreened int64
+	cacheHits   int64
+}
+
 // add flushes one chunk's worth of counts.
-func (p *Progress) add(evaluated, feasible int64) {
-	if evaluated != 0 {
-		p.evaluated.Add(evaluated)
+func (p *Progress) add(d progressDelta) {
+	if d.evaluated != 0 {
+		p.evaluated.Add(d.evaluated)
 	}
-	if feasible != 0 {
-		p.feasible.Add(feasible)
+	if d.feasible != 0 {
+		p.feasible.Add(d.feasible)
+	}
+	if d.prescreened != 0 {
+		p.prescreened.Add(d.prescreened)
+	}
+	if d.cacheHits != 0 {
+		p.cacheHits.Add(d.cacheHits)
 	}
 }
 
@@ -50,9 +66,11 @@ func (p *Progress) AddTotal(n int64) { p.total.Add(n) }
 // an ETA. It is safe to call concurrently with the search.
 func (p *Progress) Snapshot() ProgressSnapshot {
 	s := ProgressSnapshot{
-		Evaluated: p.evaluated.Load(),
-		Feasible:  p.feasible.Load(),
-		Total:     p.total.Load(),
+		Evaluated:   p.evaluated.Load(),
+		Feasible:    p.feasible.Load(),
+		PreScreened: p.prescreened.Load(),
+		CacheHits:   p.cacheHits.Load(),
+		Total:       p.total.Load(),
 	}
 	if start := p.startNano.Load(); start != 0 {
 		s.Elapsed = time.Duration(time.Now().UnixNano() - start)
@@ -71,6 +89,11 @@ type ProgressSnapshot struct {
 	// Evaluated and Feasible mirror Result's counters, live.
 	Evaluated int64
 	Feasible  int64
+	// PreScreened and CacheHits mirror the two-phase evaluation counters:
+	// strategies rejected by the analytic pre-screen, and evaluations served
+	// from the memoized block profiles.
+	PreScreened int64
+	CacheHits   int64
 	// Total is the expected number of strategies, when known (see
 	// Options.EstimateTotal and Progress.AddTotal); 0 when unknown.
 	Total int64
@@ -92,6 +115,9 @@ func (s ProgressSnapshot) String() string {
 		out += fmt.Sprintf("/%d (%.1f%%)", s.Total, 100*float64(s.Evaluated)/float64(s.Total))
 	}
 	out += fmt.Sprintf(", %d feasible", s.Feasible)
+	if s.PreScreened > 0 {
+		out += fmt.Sprintf(", %d pre-screened", s.PreScreened)
+	}
 	if s.Rate > 0 {
 		out += fmt.Sprintf(", %s strategies/s", compactCount(s.Rate))
 	}

@@ -60,6 +60,16 @@ type Options struct {
 	OnProgress func(ProgressSnapshot)
 	// ProgressInterval is the OnProgress cadence; 0 means one second.
 	ProgressInterval time.Duration
+
+	// DisablePreScreen turns off the phase-1 analytic feasibility filter so
+	// every strategy takes the full evaluation path. Results are identical
+	// either way (locked in by the equivalence property tests); this exists
+	// as an escape hatch and for A/B measurement.
+	DisablePreScreen bool
+	// DisableMemo turns off the phase-2 block-profile cache inside the
+	// shared perf.Runner. Results are identical either way; see
+	// DisablePreScreen.
+	DisableMemo bool
 }
 
 // Result is the outcome of an execution search.
@@ -72,6 +82,12 @@ type Result struct {
 	// (the paper's 10,957,376 vs 1,974,902 for GPT-3 175B on 4,096 GPUs).
 	Evaluated int
 	Feasible  int
+	// PreScreened counts the evaluations rejected by the phase-1 analytic
+	// filter before any layer-level work (a subset of Evaluated−Feasible);
+	// CacheHits counts evaluations that reused a memoized block profile.
+	// Both are 0 when the corresponding Disable option is set.
+	PreScreened int
+	CacheHits   int
 	// Rates holds every feasible sample rate when CollectRates is set.
 	Rates []float64
 	// Pareto holds the time-vs-memory front when Options.Pareto is set,
@@ -160,6 +176,12 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 	if err != nil {
 		return Result{}, err
 	}
+	if opts.DisablePreScreen {
+		runner.DisablePreScreen()
+	}
+	if opts.DisableMemo {
+		runner.DisableMemo()
+	}
 	chunks := make(chan []indexed, workers)
 	results := make(chan workerState, workers)
 	for w := 0; w < workers; w++ {
@@ -171,18 +193,28 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 				if ctx.Err() != nil {
 					continue
 				}
-				before := ws.evaluated
-				feasBefore := ws.feasible
+				before := ws
 				for _, it := range chunk {
 					ws.evaluated++
-					res, err := runner.Run(it.st)
+					res, info, err := runner.RunDetailed(it.st)
+					if info.PreScreened {
+						ws.prescreened++
+					}
+					if info.CacheHit {
+						ws.cacheHits++
+					}
 					if err != nil {
 						continue
 					}
 					ws.add(scored{it.seq, res}, opts.CollectRates)
 				}
 				if prog != nil {
-					prog.add(int64(ws.evaluated-before), int64(ws.feasible-feasBefore))
+					prog.add(progressDelta{
+						evaluated:   int64(ws.evaluated - before.evaluated),
+						feasible:    int64(ws.feasible - before.feasible),
+						prescreened: int64(ws.prescreened - before.prescreened),
+						cacheHits:   int64(ws.cacheHits - before.cacheHits),
+					})
 				}
 			}
 			results <- ws
@@ -215,9 +247,11 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 	}
 
 	out := Result{
-		Evaluated: merged.evaluated,
-		Feasible:  merged.feasible,
-		Rates:     merged.rates,
+		Evaluated:   merged.evaluated,
+		Feasible:    merged.feasible,
+		PreScreened: merged.prescreened,
+		CacheHits:   merged.cacheHits,
+		Rates:       merged.rates,
 	}
 	if merged.feasible > 0 {
 		out.Best = merged.best.res
@@ -264,15 +298,17 @@ func startProgressTicker(p *Progress, cb func(ProgressSnapshot), interval time.D
 
 // workerState accumulates per-goroutine results for a deterministic merge.
 type workerState struct {
-	evaluated int
-	feasible  int
-	best      scored
-	hasBest   bool
-	topK      int
-	top       []scored
-	rates     []float64
-	pareto    bool
-	front     []scored
+	evaluated   int
+	feasible    int
+	prescreened int
+	cacheHits   int
+	best        scored
+	hasBest     bool
+	topK        int
+	top         []scored
+	rates       []float64
+	pareto      bool
+	front       []scored
 }
 
 func (ws *workerState) add(s scored, collectRates bool) {
@@ -334,6 +370,8 @@ func (ws *workerState) compactTop() {
 func (ws *workerState) merge(o workerState) {
 	ws.evaluated += o.evaluated
 	ws.feasible += o.feasible
+	ws.prescreened += o.prescreened
+	ws.cacheHits += o.cacheHits
 	if o.hasBest && (!ws.hasBest || better(o.best, ws.best)) {
 		ws.best = o.best
 		ws.hasBest = true
