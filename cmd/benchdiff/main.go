@@ -8,8 +8,14 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench BenchmarkExecutionSearch -benchtime 1x ./internal/search |
+//	go test -run '^$' -bench 'BenchmarkExecutionSearch|BenchmarkSystemSizeSweep' -benchtime 1x ./internal/search |
 //	    go run ./cmd/benchdiff -baseline BENCH_BASELINE.json -tolerance 0.30
+//
+// The baselined sweep pair — BenchmarkSystemSizeSweep with the lattice
+// subtree prune on, BenchmarkSystemSizeSweepNoPrune without — additionally
+// pins the prune's speedup: their baselined strategies/s differ by the
+// measured factor, so losing the prune's win shows up as a tolerance
+// failure on the pruned arm.
 //
 // Pass -update to rewrite the baseline from the fresh run instead of
 // comparing (do this on the reference machine after a deliberate perf

@@ -28,6 +28,7 @@ type runtimeFlags struct {
 	progress   time.Duration
 	pprofAddr  string
 	cpuprofile string
+	workers    int
 }
 
 // addRuntime registers the runtime flags on a subcommand's FlagSet.
@@ -37,6 +38,7 @@ func addRuntime(fs *flag.FlagSet) *runtimeFlags {
 	fs.DurationVar(&r.progress, "progress", 0, "print a live progress line to stderr at this interval (0 = off)")
 	fs.StringVar(&r.pprofAddr, "pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 	fs.StringVar(&r.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.IntVar(&r.workers, "workers", 0, "total worker budget for searches and sweeps (0 = GOMAXPROCS)")
 	return r
 }
 
@@ -84,6 +86,7 @@ func (r *runtimeFlags) apply(ctx context.Context) (context.Context, func(), erro
 func (r *runtimeFlags) attachProgress(opts *search.Options, prog *search.Progress) {
 	opts.Progress = prog
 	opts.EstimateTotal = true
+	opts.Workers = r.workers
 	if r.progress > 0 {
 		opts.ProgressInterval = r.progress
 		opts.OnProgress = func(s search.ProgressSnapshot) {

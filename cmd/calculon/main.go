@@ -291,8 +291,8 @@ func cmdSearch(ctx context.Context, args []string) error {
 		}
 		return err
 	}
-	fmt.Printf("evaluated %d strategies, %d feasible (%d pre-screened, %d cache hits)\n",
-		res.Evaluated, res.Feasible, res.PreScreened, res.CacheHits)
+	fmt.Printf("evaluated %d strategies, %d feasible (%d pre-screened, %d subtree-pruned, %d cache hits)\n",
+		res.Evaluated, res.Feasible, res.PreScreened, res.SubtreePruned, res.CacheHits)
 	if !res.Found() {
 		fmt.Println("no feasible configuration")
 		return nil

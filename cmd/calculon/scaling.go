@@ -55,6 +55,9 @@ func cmdScaling(ctx context.Context, args []string) error {
 		}
 		return err
 	}
+	snap := prog.Snapshot()
+	fmt.Printf("swept %d sizes: evaluated %d strategies (%d pre-screened, %d subtree-pruned, %d cache hits)\n",
+		len(pts), snap.Evaluated, snap.PreScreened, snap.SubtreePruned, snap.CacheHits)
 	if *asCSV {
 		rows := [][]string{{"gpus", "feasible", "sample_rate", "mfu", "strategy"}}
 		for _, p := range pts {

@@ -116,25 +116,128 @@ func (o EnumOptions) Triples(m model.LLM) [][3]int {
 // The count of generated strategies is returned.
 func (o EnumOptions) Enumerate(m model.LLM, yield func(Strategy) bool) int {
 	count := 0
+	for _, tpd := range o.Triples(m) {
+		n, more := o.EnumerateTriple(m, tpd, yield)
+		count += n
+		if !more {
+			break
+		}
+	}
+	return count
+}
+
+// EnumerateTriple streams every strategy of one (t,p,d) subtree through
+// yield, in the same order Enumerate visits them. It returns the number of
+// strategies generated and whether the subtree ran to completion (false when
+// yield stopped it). The triple must come from Triples — the structural
+// constraints are not re-checked here.
+func (o EnumOptions) EnumerateTriple(m model.LLM, tpd [3]int, yield func(Strategy) bool) (int, bool) {
+	count := 0
 	emit := func(s Strategy) bool {
 		count++
 		return yield(s)
 	}
-	for _, tpd := range o.Triples(m) {
-		t, p, d := tpd[0], tpd[1], tpd[2]
-		perPipe := m.Batch / d
-		base := Strategy{TP: t, PP: p, DP: d}
-		for _, mb := range divisors(perPipe) {
-			s1 := base
-			s1.Microbatch = mb
-			if !o.forEachSchedule(m, s1, func(s2 Strategy) bool {
-				return o.forEachToggle(s2, emit)
-			}) {
-				return count
+	perPipe := m.Batch / tpd[2]
+	base := Strategy{TP: tpd[0], PP: tpd[1], DP: tpd[2]}
+	for _, mb := range divisors(perPipe) {
+		s1 := base
+		s1.Microbatch = mb
+		if !o.forEachSchedule(m, s1, func(s2 Strategy) bool {
+			return o.forEachToggle(s2, emit)
+		}) {
+			return count, false
+		}
+	}
+	return count, true
+}
+
+// TripleLeafCount returns, in closed form, the number of strategies
+// EnumerateTriple generates for the (t,p,d) subtree: the microbatch divisor
+// count times the schedule variants times the toggle combinations. The
+// lattice-pruned search uses it to keep the Evaluated/PreScreened counters
+// and the ETA total exact without materializing pruned subtrees;
+// TestLatticeCountsConsistent pins the equality against the enumerator.
+func (o EnumOptions) TripleLeafCount(m model.LLM, tpd [3]int) int {
+	mbs := len(divisors(m.Batch / tpd[2]))
+	sched := 0
+	if !o.PinBeneficial {
+		sched++ // the plain GPipe-like schedule
+	}
+	if tpd[1] == 1 {
+		sched++ // interleaving is meaningless without pipeline parallelism
+	} else {
+		bp := (m.Blocks + tpd[1] - 1) / tpd[1]
+		for _, v := range divisors(bp) {
+			if o.MaxInterleave > 0 && v > o.MaxInterleave {
+				break
+			}
+			sched++
+		}
+	}
+	return mbs * sched * o.togglesPerLeaf()
+}
+
+// togglesPerLeaf counts the switch combinations forEachToggle emits per
+// (triple, microbatch, schedule) point; it mirrors that function's slices
+// exactly and depends only on the options.
+func (o EnumOptions) togglesPerLeaf() int {
+	recomputes, comms := 2, 2
+	tpOv, dpOv, shards, fused, offloads := 1, 1, 1, 1, 1
+	switch o.Features {
+	case FeatureBaseline:
+	case FeatureSeqPar:
+		recomputes, comms = 3, 4
+	default: // FeatureAll
+		recomputes, comms = 3, 7
+		tpOv, dpOv, shards, fused = 3, 2, 2, 2
+		if o.HasMem2 {
+			offloads = 8
+		}
+	}
+	if o.PinBeneficial {
+		tpOv, dpOv, shards, fused = 1, 1, 1, 1
+	}
+	return recomputes * comms * tpOv * dpOv * shards * fused * offloads
+}
+
+// boundLeaves returns one representative strategy per distinct pre-screen
+// verdict in the (t,p,d) subtree. PreScreen.Check reads only the parallelism
+// degrees and the WeightOffload/OptimOffload/OptimSharding/DPOverlap
+// switches (ActOffload reaches only the tier-presence check, which the
+// offload projections cover), so projecting the toggle space onto those
+// switches covers every leaf's verdict; the slices mirror forEachToggle.
+func (o EnumOptions) boundLeaves(tpd [3]int) []Strategy {
+	offs := []bool{false}
+	shards := []bool{false}
+	dpovs := []bool{false}
+	switch o.Features {
+	case FeatureBaseline, FeatureSeqPar:
+	default: // FeatureAll
+		shards, dpovs = []bool{false, true}, []bool{false, true}
+		if o.PinBeneficial {
+			shards, dpovs = shards[1:], dpovs[1:]
+		}
+		if o.HasMem2 {
+			offs = []bool{false, true}
+		}
+	}
+	out := make([]Strategy, 0, len(offs)*len(offs)*len(shards)*len(dpovs))
+	for _, w := range offs {
+		for _, oo := range offs {
+			for _, sh := range shards {
+				for _, dov := range dpovs {
+					out = append(out, Strategy{
+						TP: tpd[0], PP: tpd[1], DP: tpd[2],
+						Microbatch: 1, Interleave: 1,
+						Recompute: RecomputeNone, TPOverlap: TPOverlapNone,
+						WeightOffload: w, OptimOffload: oo,
+						OptimSharding: sh, DPOverlap: dov,
+					})
+				}
 			}
 		}
 	}
-	return count
+	return out
 }
 
 // forEachSchedule enumerates pipeline schedule variants (1F1B on/off,
@@ -252,9 +355,16 @@ func (o EnumOptions) forEachToggle(s Strategy, yield func(Strategy) bool) bool {
 }
 
 // SpaceSize counts the strategies Enumerate would generate without invoking
-// a consumer, for reporting search-space sizes as in Fig. 6.
+// a consumer, for reporting search-space sizes as in Fig. 6 and pre-counting
+// ETA totals. It is closed-form — the per-triple leaf counts summed over the
+// lattice — so it costs divisor arithmetic, not an enumeration pass;
+// TestLatticeCountsConsistent pins it against the enumerator.
 func (o EnumOptions) SpaceSize(m model.LLM) int {
-	return o.Enumerate(m, func(Strategy) bool { return true })
+	total := 0
+	for _, tpd := range o.Triples(m) {
+		total += o.TripleLeafCount(m, tpd)
+	}
+	return total
 }
 
 // Validate checks the options themselves.

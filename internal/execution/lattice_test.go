@@ -1,0 +1,129 @@
+package execution
+
+import (
+	"math/rand"
+	"testing"
+
+	"calculon/internal/model"
+	"calculon/internal/units"
+)
+
+// TestLatticeCountsConsistent is the counting obligation of the lattice
+// search: for randomized enumeration options, the closed-form SpaceSize, the
+// sum of per-triple TripleLeafCount values, and the number of strategies
+// Enumerate actually generates must all agree. The lattice-pruned search
+// relies on this equality to keep Evaluated/PreScreened counters and ETA
+// totals exact while skipping whole subtrees.
+func TestLatticeCountsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	models := []string{"gpt3-13B", "megatron-22B", "gpt2-1.5B", "llama-65B"}
+	features := []FeatureSet{FeatureBaseline, FeatureSeqPar, FeatureAll}
+	procChoices := []int{8, 12, 16, 32, 48}
+	batchChoices := []int{8, 16, 24, 32}
+
+	const draws = 40
+	for i := 0; i < draws; i++ {
+		m := model.MustPreset(models[rng.Intn(len(models))]).
+			WithBatch(batchChoices[rng.Intn(len(batchChoices))])
+		o := EnumOptions{
+			Procs:         procChoices[rng.Intn(len(procChoices))],
+			Features:      features[rng.Intn(len(features))],
+			HasMem2:       rng.Intn(2) == 0,
+			MaxTP:         []int{0, 4, 8}[rng.Intn(3)],
+			MaxInterleave: []int{0, 1, 2, 3}[rng.Intn(4)],
+			PinBeneficial: rng.Intn(2) == 0,
+		}
+		// Occasionally pin a degree, as the grid studies do.
+		if rng.Intn(4) == 0 {
+			o.FixedTP = []int{1, 2, 4}[rng.Intn(3)]
+		}
+
+		triples := o.Triples(m)
+		bySum := 0
+		for _, tpd := range triples {
+			bySum += o.TripleLeafCount(m, tpd)
+		}
+		byEnum := o.Enumerate(m, func(Strategy) bool { return true })
+		if closed := o.SpaceSize(m); closed != byEnum || bySum != byEnum {
+			t.Errorf("draw %d (%+v): SpaceSize=%d, Σ TripleLeafCount=%d, Enumerate=%d",
+				i, o, closed, bySum, byEnum)
+		}
+
+		// Per-triple: the closed-form leaf count must match the enumerator's
+		// count for that subtree alone.
+		for _, tpd := range triples {
+			n, _ := o.EnumerateTriple(m, tpd, func(Strategy) bool { return true })
+			if want := o.TripleLeafCount(m, tpd); n != want {
+				t.Errorf("draw %d triple %v: TripleLeafCount=%d, EnumerateTriple=%d",
+					i, tpd, want, n)
+			}
+		}
+	}
+}
+
+// TestCheckTripleDecidesSubtree is the soundness obligation of the subtree
+// pre-screen: CheckTriple rejects a (t,p,d) subtree exactly when Check would
+// reject every one of its leaves, and accepts exactly when some leaf passes.
+// Randomized over options and over limit regimes that make the memory bound
+// bite at different parallelism degrees.
+func TestCheckTripleDecidesSubtree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	models := []string{"gpt3-13B", "megatron-22B", "chinchilla-70B"}
+	features := []FeatureSet{FeatureBaseline, FeatureSeqPar, FeatureAll}
+	procChoices := []int{8, 16, 32}
+
+	const draws = 30
+	prunedTotal, keptTotal := 0, 0
+	for i := 0; i < draws; i++ {
+		m := model.MustPreset(models[rng.Intn(len(models))]).WithBatch(16)
+		o := EnumOptions{
+			Procs:         procChoices[rng.Intn(len(procChoices))],
+			Features:      features[rng.Intn(len(features))],
+			HasMem2:       rng.Intn(2) == 0,
+			MaxTP:         8,
+			MaxInterleave: 2,
+			PinBeneficial: rng.Intn(2) == 0,
+		}
+		lim := Limits{
+			Procs: o.Procs,
+			// 5..80 GiB of first-tier capacity: small enough that many triples
+			// fail the weight/optimizer lower bound, large enough that some pass.
+			Mem1: units.Bytes(5+rng.Intn(76)) * units.GiB,
+		}
+		if o.HasMem2 {
+			lim.Mem2 = units.Bytes(64+rng.Intn(448)) * units.GiB
+		}
+		p := NewPreScreen(m, lim)
+
+		for _, tpd := range o.Triples(m) {
+			verdict := p.CheckTriple(o, tpd)
+			anyPass := false
+			o.EnumerateTriple(m, tpd, func(s Strategy) bool {
+				if p.Check(s) == nil {
+					anyPass = true
+					return false
+				}
+				return true
+			})
+			if verdict != nil && anyPass {
+				t.Errorf("draw %d triple %v: CheckTriple rejected (%v) but a leaf passes Check",
+					i, tpd, verdict)
+			}
+			if verdict == nil && !anyPass {
+				t.Errorf("draw %d triple %v: CheckTriple accepted but every leaf fails Check",
+					i, tpd)
+			}
+			if verdict != nil {
+				prunedTotal++
+			} else {
+				keptTotal++
+			}
+		}
+	}
+	// The limit regimes above must actually exercise both branches, or the
+	// equivalence assertions are vacuous.
+	if prunedTotal == 0 || keptTotal == 0 {
+		t.Errorf("degenerate draw set: pruned=%d kept=%d triples — want both branches exercised",
+			prunedTotal, keptTotal)
+	}
+}

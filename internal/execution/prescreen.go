@@ -103,6 +103,29 @@ func (p *PreScreen) Check(st Strategy) error {
 	return nil
 }
 
+// CheckTriple reports why every leaf of the (t,p,d) subtree certainly fails
+// the pre-screen, or nil when at least one toggle combination passes the
+// bound and the subtree must be enumerated. Check's verdict depends only on
+// the parallelism degrees and four switches (see EnumOptions.boundLeaves),
+// so trying one representative per projection class decides the whole
+// subtree exactly: a non-nil return means Check would reject every leaf —
+// the lattice search may drop the subtree and count its leaves as
+// pre-screened without enumerating them, bit-identically to the leaf-by-leaf
+// path. The returned error is the first projection's rejection.
+func (p *PreScreen) CheckTriple(o EnumOptions, tpd [3]int) error {
+	var firstErr error
+	for _, st := range o.boundLeaves(tpd) {
+		err := p.Check(st)
+		if err == nil {
+			return nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 func minB(a, b units.Bytes) units.Bytes {
 	if a < b {
 		return a

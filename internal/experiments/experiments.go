@@ -40,7 +40,10 @@ func studyModels() []model.LLM {
 
 // sweepOptions is the shared search configuration of the big sweeps: the
 // full non-monotone trade-off space with the always-beneficial toggles
-// pinned (see execution.EnumOptions.PinBeneficial).
+// pinned (see execution.EnumOptions.PinBeneficial). Worker budgeting,
+// lattice subtree pruning, and — for the system-size sweeps — the
+// cross-size shared profile memo all come from the search defaults; the
+// experiments never pin worker counts themselves.
 func sweepOptions(features execution.FeatureSet, maxInterleave int) search.Options {
 	return search.Options{
 		Enum: execution.EnumOptions{

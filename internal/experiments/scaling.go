@@ -32,6 +32,10 @@ type ScalingCurve struct {
 // ScaleSmall sweeps multiples of 312 (= 8·3·13, deliberately awkward to
 // factor so the cliffs of "sizes that do not divide evenly" show up even in
 // the reduced study) up to 4,096, plus the well-factoring 4,096 itself.
+// Each per-model sweep shares one block-profile memo across all sizes and
+// prunes pre-screen-dead (tp,pp,dp) subtrees whole (docs/MODEL.md §13),
+// which is what makes the below-cliff sizes — where nothing fits — nearly
+// free instead of the dominant cost.
 func ScalingStudy(ctx context.Context, offload bool, scale Scale) ([]ScalingCurve, error) {
 	sizes := append(search.Sizes(312, 4095), 4096)
 	maxInterleave := 4

@@ -1,6 +1,8 @@
 package perf
 
 import (
+	"fmt"
+	"reflect"
 	"sync"
 
 	"calculon/internal/comm"
@@ -48,7 +50,7 @@ type Runner struct {
 	screen      *execution.PreScreen
 	noPreScreen bool
 	noMemo      bool
-	memo        sync.Map // blockKey -> *blockProfile
+	memo        *sync.Map // blockKey -> *blockProfile; shareable via RunnerGroup
 }
 
 // NewRunner validates the model and system once and returns an evaluator.
@@ -64,14 +66,63 @@ func NewRunner(m model.LLM, sys system.System) (*Runner, error) {
 
 func newRunner(m model.LLM, sys system.System) *Runner {
 	return &Runner{
-		m:   m,
-		sys: sys,
+		m:    m,
+		sys:  sys,
+		memo: &sync.Map{},
 		screen: execution.NewPreScreen(m, execution.Limits{
 			Procs: sys.Procs,
 			Mem1:  sys.Mem1.Capacity,
 			Mem2:  sys.Mem2.Capacity,
 		}),
 	}
+}
+
+// RunnerGroup builds Runners for system-size variants of one base system
+// that share a single block-profile memo. The memo key
+// (tp, microbatch, recompute, seqParallel, tpRedo, fused, inference) and the
+// profile computation read nothing size-dependent — only the model, the
+// compute engines, and the first memory tier — so a profile memoized while
+// searching one processor count is bit-identical at every other, and a §5.2
+// sweep warms the cache once instead of once per size.
+// TestBlockProfileProcsIndependent guards the key-relevance invariant.
+type RunnerGroup struct {
+	m    model.LLM
+	base system.System
+	memo *sync.Map
+}
+
+// NewRunnerGroup validates the model and base system once and returns a
+// factory for memo-sharing Runners.
+func NewRunnerGroup(m model.LLM, base system.System) (*RunnerGroup, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	return &RunnerGroup{m: m, base: base, memo: &sync.Map{}}, nil
+}
+
+// RunnerFor returns a Runner for the group's model on sys, serving block
+// profiles from the group's shared memo. It refuses systems that disagree
+// with the base on any memo-relevant input (compute engines or first memory
+// tier) — sharing across those would serve profiles computed under different
+// hardware. Everything else (processor count, capacities elsewhere,
+// networks, the second tier) may vary freely.
+func (g *RunnerGroup) RunnerFor(sys system.System) (*Runner, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if !reflect.DeepEqual(sys.Compute, g.base.Compute) {
+		return nil, fmt.Errorf("perf: runner group: compute differs from the base system")
+	}
+	if !reflect.DeepEqual(sys.Mem1.Bandwidth, g.base.Mem1.Bandwidth) ||
+		!reflect.DeepEqual(sys.Mem1.Efficiency, g.base.Mem1.Efficiency) {
+		return nil, fmt.Errorf("perf: runner group: first-tier timing differs from the base system")
+	}
+	r := newRunner(g.m, sys)
+	r.memo = g.memo
+	return r, nil
 }
 
 // DisablePreScreen turns off the phase-1 analytic filter so every strategy

@@ -68,10 +68,15 @@ func TestTwoPhaseEquivalence(t *testing.T) {
 			{"no-prescreen", true, false},
 			{"no-memo", false, true},
 			{"direct", true, true},
+			// Pre-screen and memo on, but the lattice-level subtree prune off:
+			// pins the per-leaf and per-subtree accounting to each other,
+			// PreScreened included.
+			{"no-subtree-prune", false, false},
 		} {
 			o := opts
 			o.DisablePreScreen = ref.noScreen
 			o.DisableMemo = ref.noMemo
+			o.DisableSubtreePrune = ref.name == "no-subtree-prune"
 			o.Workers = 1 + rng.Intn(4)
 			slow, err := Execution(context.Background(), m, sys, o)
 			if err != nil {
@@ -104,6 +109,14 @@ func TestTwoPhaseEquivalence(t *testing.T) {
 				t.Errorf("draw %d (%s): %d cache hits with the memo disabled",
 					i, ref.name, slow.CacheHits)
 			}
+			if (ref.noScreen || o.DisableSubtreePrune) && slow.SubtreePruned != 0 {
+				t.Errorf("draw %d (%s): %d subtree-pruned with pruning disabled",
+					i, ref.name, slow.SubtreePruned)
+			}
+			if ref.name == "no-subtree-prune" && fast.PreScreened != slow.PreScreened {
+				t.Errorf("draw %d (%s): pre-screened diverges: %d with subtree pruning vs %d without",
+					i, ref.name, fast.PreScreened, slow.PreScreened)
+			}
 		}
 		// The fast path's counters must be internally consistent: pre-screened
 		// strategies are a subset of the infeasible ones, and cache hits never
@@ -115,6 +128,12 @@ func TestTwoPhaseEquivalence(t *testing.T) {
 		if fast.CacheHits > fast.Evaluated-fast.PreScreened {
 			t.Errorf("draw %d: %d cache hits exceed %d phase-2 evaluations",
 				i, fast.CacheHits, fast.Evaluated-fast.PreScreened)
+		}
+		// Subtree-pruned leaves are pre-screened leaves that were never
+		// generated, so the count is bounded by PreScreened.
+		if fast.SubtreePruned > fast.PreScreened {
+			t.Errorf("draw %d: %d subtree-pruned exceeds %d pre-screened",
+				i, fast.SubtreePruned, fast.PreScreened)
 		}
 	}
 }

@@ -18,11 +18,12 @@ import (
 // the budget sweep do this): counters and totals accumulate, and the rate
 // reflects aggregate throughput since the first search started.
 type Progress struct {
-	evaluated   atomic.Int64
-	feasible    atomic.Int64
-	prescreened atomic.Int64
-	cacheHits   atomic.Int64
-	total       atomic.Int64
+	evaluated     atomic.Int64
+	feasible      atomic.Int64
+	prescreened   atomic.Int64
+	cacheHits     atomic.Int64
+	subtreePruned atomic.Int64
+	total         atomic.Int64
 	// startNano is the time the first search attached, in nanoseconds since
 	// the Unix epoch; zero means not started.
 	startNano atomic.Int64
@@ -35,10 +36,11 @@ func (p *Progress) markStart() {
 
 // progressDelta is one chunk's worth of counter increments.
 type progressDelta struct {
-	evaluated   int64
-	feasible    int64
-	prescreened int64
-	cacheHits   int64
+	evaluated     int64
+	feasible      int64
+	prescreened   int64
+	cacheHits     int64
+	subtreePruned int64
 }
 
 // add flushes one chunk's worth of counts.
@@ -55,6 +57,9 @@ func (p *Progress) add(d progressDelta) {
 	if d.cacheHits != 0 {
 		p.cacheHits.Add(d.cacheHits)
 	}
+	if d.subtreePruned != 0 {
+		p.subtreePruned.Add(d.subtreePruned)
+	}
 }
 
 // AddTotal grows the expected-strategy total (used for ETA). Searches add
@@ -66,11 +71,12 @@ func (p *Progress) AddTotal(n int64) { p.total.Add(n) }
 // an ETA. It is safe to call concurrently with the search.
 func (p *Progress) Snapshot() ProgressSnapshot {
 	s := ProgressSnapshot{
-		Evaluated:   p.evaluated.Load(),
-		Feasible:    p.feasible.Load(),
-		PreScreened: p.prescreened.Load(),
-		CacheHits:   p.cacheHits.Load(),
-		Total:       p.total.Load(),
+		Evaluated:     p.evaluated.Load(),
+		Feasible:      p.feasible.Load(),
+		PreScreened:   p.prescreened.Load(),
+		CacheHits:     p.cacheHits.Load(),
+		SubtreePruned: p.subtreePruned.Load(),
+		Total:         p.total.Load(),
 	}
 	if start := p.startNano.Load(); start != 0 {
 		s.Elapsed = time.Duration(time.Now().UnixNano() - start)
@@ -94,6 +100,11 @@ type ProgressSnapshot struct {
 	// from the memoized block profiles.
 	PreScreened int64
 	CacheHits   int64
+	// SubtreePruned counts the strategies dropped whole at the (tp,pp,dp)
+	// lattice level — accounted in Evaluated and PreScreened in closed form,
+	// never enumerated. A progress line therefore covers the full space, not
+	// just the leaves that were generated.
+	SubtreePruned int64
 	// Total is the expected number of strategies, when known (see
 	// Options.EstimateTotal and Progress.AddTotal); 0 when unknown.
 	Total int64
@@ -117,6 +128,9 @@ func (s ProgressSnapshot) String() string {
 	out += fmt.Sprintf(", %d feasible", s.Feasible)
 	if s.PreScreened > 0 {
 		out += fmt.Sprintf(", %d pre-screened", s.PreScreened)
+	}
+	if s.SubtreePruned > 0 {
+		out += fmt.Sprintf(", %d subtree-pruned", s.SubtreePruned)
 	}
 	if s.Rate > 0 {
 		out += fmt.Sprintf(", %s strategies/s", compactCount(s.Rate))

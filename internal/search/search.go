@@ -64,12 +64,29 @@ type Options struct {
 	// DisablePreScreen turns off the phase-1 analytic feasibility filter so
 	// every strategy takes the full evaluation path. Results are identical
 	// either way (locked in by the equivalence property tests); this exists
-	// as an escape hatch and for A/B measurement.
+	// as an escape hatch and for A/B measurement. Disabling the pre-screen
+	// also disables subtree pruning, which is built on the same bound.
 	DisablePreScreen bool
 	// DisableMemo turns off the phase-2 block-profile cache inside the
 	// shared perf.Runner. Results are identical either way; see
 	// DisablePreScreen.
 	DisableMemo bool
+	// DisableSubtreePrune turns off the lattice-level filter: without it the
+	// producer screens each (tp,pp,dp) triple with the same closed-form
+	// memory bound the per-leaf pre-screen uses, evaluated at every toggle
+	// projection the enumeration would emit, and drops whole subtrees whose
+	// every leaf the pre-screen would reject — counting the dropped leaves
+	// as Evaluated and PreScreened in closed form instead of enumerating
+	// them. Results and counters are identical either way (locked in by the
+	// equivalence property tests), only slower with the pruning off.
+	DisableSubtreePrune bool
+
+	// sharedRunner, when non-nil, evaluates strategies instead of a freshly
+	// built Runner. SystemSize threads per-size Runners drawn from one
+	// perf.RunnerGroup through it so block profiles memoized at one size are
+	// served at every other. The Disable* options must already be applied to
+	// the runner by the caller.
+	sharedRunner *perf.Runner
 }
 
 // Result is the outcome of an execution search.
@@ -88,6 +105,13 @@ type Result struct {
 	// Both are 0 when the corresponding Disable option is set.
 	PreScreened int
 	CacheHits   int
+	// SubtreePruned counts the strategies dropped at the lattice level:
+	// leaves of (tp,pp,dp) subtrees whose closed-form bound proved every
+	// toggle combination infeasible, accounted in closed form without being
+	// enumerated. They are a subset of PreScreened (pruned leaves count as
+	// Evaluated and PreScreened, exactly as the leaf-by-leaf path would);
+	// 0 when DisableSubtreePrune or DisablePreScreen is set.
+	SubtreePruned int
 	// Rates holds every feasible sample rate when CollectRates is set.
 	Rates []float64
 	// Pareto holds the time-vs-memory front when Options.Pareto is set,
@@ -118,6 +142,22 @@ func better(a, b scored) bool {
 }
 
 const chunkSize = 256
+
+// chunkPool recycles the producer's strategy buffers: workers return each
+// chunk after evaluating it, so a steady-state search keeps roughly one
+// buffer in flight per worker instead of allocating one per 256 strategies.
+// Chunks travel by pointer so neither side boxes a slice header per cycle.
+var chunkPool = sync.Pool{New: func() any {
+	b := make([]indexed, 0, chunkSize)
+	return &b
+}}
+
+// newChunk returns an empty chunk buffer, recycled when available.
+func newChunk() *[]indexed {
+	b := chunkPool.Get().(*[]indexed)
+	*b = (*b)[:0]
+	return b
+}
 
 // Execution exhaustively evaluates every strategy the options allow for the
 // model on the system and returns the best performer with statistics.
@@ -159,9 +199,10 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 	if prog != nil {
 		prog.markStart()
 		if opts.EstimateTotal {
-			// A counting pass is pure enumeration — orders of magnitude
-			// cheaper than evaluation — and buys the ETA in snapshots.
-			prog.AddTotal(int64(opts.Enum.Enumerate(m, func(execution.Strategy) bool { return true })))
+			// The space size is closed-form over the (tp,pp,dp) lattice —
+			// divisor arithmetic, no enumeration pass — and buys the ETA in
+			// snapshots.
+			prog.AddTotal(int64(opts.Enum.SpaceSize(m)))
 		}
 	}
 	if opts.OnProgress != nil {
@@ -172,17 +213,21 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 		}()
 	}
 
-	runner, err := perf.NewRunner(m, sys)
-	if err != nil {
-		return Result{}, err
+	runner := opts.sharedRunner
+	if runner == nil {
+		var err error
+		runner, err = perf.NewRunner(m, sys)
+		if err != nil {
+			return Result{}, err
+		}
+		if opts.DisablePreScreen {
+			runner.DisablePreScreen()
+		}
+		if opts.DisableMemo {
+			runner.DisableMemo()
+		}
 	}
-	if opts.DisablePreScreen {
-		runner.DisablePreScreen()
-	}
-	if opts.DisableMemo {
-		runner.DisableMemo()
-	}
-	chunks := make(chan []indexed, workers)
+	chunks := make(chan *[]indexed, workers)
 	results := make(chan workerState, workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -191,10 +236,11 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 				// After cancellation, keep draining so the producer's sends
 				// and close always complete, but stop evaluating.
 				if ctx.Err() != nil {
+					chunkPool.Put(chunk)
 					continue
 				}
 				before := ws
-				for _, it := range chunk {
+				for _, it := range *chunk {
 					ws.evaluated++
 					res, info, err := runner.RunDetailed(it.st)
 					if info.PreScreened {
@@ -208,6 +254,7 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 					}
 					ws.add(scored{it.seq, res}, opts.CollectRates)
 				}
+				chunkPool.Put(chunk)
 				if prog != nil {
 					prog.add(progressDelta{
 						evaluated:   int64(ws.evaluated - before.evaluated),
@@ -221,23 +268,63 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 		}()
 	}
 
-	buf := make([]indexed, 0, chunkSize)
+	// The producer walks the (tp,pp,dp) lattice: subtrees whose every toggle
+	// projection fails the closed-form bound are dropped whole, with their
+	// leaf count — exact, by TripleLeafCount — folded into the counters and
+	// the enumeration sequence so downstream tie-breaks and ETAs are
+	// bit-identical to the leaf-by-leaf path.
+	var screen *execution.PreScreen
+	if !opts.DisableSubtreePrune && !opts.DisablePreScreen {
+		screen = execution.NewPreScreen(m, execution.Limits{
+			Procs: sys.Procs,
+			Mem1:  sys.Mem1.Capacity,
+			Mem2:  sys.Mem2.Capacity,
+		})
+	}
+	buf := newChunk()
 	seq := 0
-	opts.Enum.Enumerate(m, func(st execution.Strategy) bool {
-		buf = append(buf, indexed{seq, st})
-		seq++
-		if len(buf) == chunkSize {
-			select {
-			case chunks <- buf:
-			case <-ctx.Done():
-				return false
-			}
-			buf = make([]indexed, 0, chunkSize)
+	subtreePruned := 0
+	for _, tpd := range opts.Enum.Triples(m) {
+		if ctx.Err() != nil {
+			break
 		}
-		return true
-	})
-	if len(buf) > 0 && ctx.Err() == nil {
-		chunks <- buf
+		if screen != nil {
+			if err := screen.CheckTriple(opts.Enum, tpd); err != nil {
+				leaves := opts.Enum.TripleLeafCount(m, tpd)
+				seq += leaves
+				subtreePruned += leaves
+				if prog != nil {
+					prog.add(progressDelta{
+						evaluated:     int64(leaves),
+						prescreened:   int64(leaves),
+						subtreePruned: int64(leaves),
+					})
+				}
+				continue
+			}
+		}
+		_, more := opts.Enum.EnumerateTriple(m, tpd, func(st execution.Strategy) bool {
+			*buf = append(*buf, indexed{seq, st})
+			seq++
+			if len(*buf) == chunkSize {
+				select {
+				case chunks <- buf:
+				case <-ctx.Done():
+					return false
+				}
+				buf = newChunk()
+			}
+			return true
+		})
+		if !more {
+			break
+		}
+	}
+	if len(*buf) > 0 {
+		select {
+		case chunks <- buf:
+		case <-ctx.Done():
+		}
 	}
 	close(chunks)
 
@@ -245,13 +332,16 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 	for w := 0; w < workers; w++ {
 		merged.merge(<-results)
 	}
+	merged.evaluated += subtreePruned
+	merged.prescreened += subtreePruned
 
 	out := Result{
-		Evaluated:   merged.evaluated,
-		Feasible:    merged.feasible,
-		PreScreened: merged.prescreened,
-		CacheHits:   merged.cacheHits,
-		Rates:       merged.rates,
+		Evaluated:     merged.evaluated,
+		Feasible:      merged.feasible,
+		PreScreened:   merged.prescreened,
+		CacheHits:     merged.cacheHits,
+		SubtreePruned: subtreePruned,
+		Rates:         merged.rates,
 	}
 	if merged.feasible > 0 {
 		out.Best = merged.best.res
@@ -335,14 +425,16 @@ func (ws *workerState) add(s scored, collectRates bool) {
 }
 
 // compactParetoScored reduces candidates to the time-vs-memory front with
-// enumeration order as the deterministic tie-break.
+// enumeration order as the deterministic tie-break. It works in place —
+// sorting cands and compacting the front into its prefix — so the periodic
+// re-compaction of a worker's running front costs no copy of the candidate
+// slice; every caller owns its slice.
 func compactParetoScored(cands []scored) []scored {
 	if len(cands) == 0 {
 		return nil
 	}
-	sorted := append([]scored(nil), cands...)
-	sort.Slice(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
 		if a.res.BatchTime != b.res.BatchTime {
 			return a.res.BatchTime < b.res.BatchTime
 		}
@@ -351,9 +443,9 @@ func compactParetoScored(cands []scored) []scored {
 		}
 		return a.seq < b.seq
 	})
-	var front []scored
-	bestMem := sorted[0].res.Mem1.Total() + 1
-	for _, s := range sorted {
+	front := cands[:0]
+	bestMem := cands[0].res.Mem1.Total() + 1
+	for _, s := range cands {
 		if m := s.res.Mem1.Total(); m < bestMem {
 			front = append(front, s)
 			bestMem = m
@@ -397,8 +489,16 @@ type ScalingPoint struct {
 }
 
 // SystemSize runs a full execution search at each processor count,
-// producing the scaling/efficiency-cliff data of Figs. 7 and 10. Sizes are
-// evaluated concurrently across the pool inherited from opts.
+// producing the scaling/efficiency-cliff data of Figs. 7 and 10.
+//
+// The sweep divides one global worker budget — opts.Workers, defaulting to
+// GOMAXPROCS — across the sizes: up to budget sizes run concurrently, each
+// with budget/concurrency workers, so a single-size sweep gets the whole
+// pool and a wide sweep never oversubscribes it. Because the block-profile
+// memo key contains nothing size-dependent, every per-size search shares one
+// memo through a perf.RunnerGroup whenever the per-size systems agree on the
+// memo-relevant inputs; profiles computed at one size are reused at all
+// others, bit-identically.
 //
 // Cancellation propagates to every per-size search; on cancellation the
 // points computed so far are returned together with ctx.Err(). A Progress
@@ -421,11 +521,28 @@ func SystemSize(ctx context.Context, m model.LLM, sysAt func(procs int) system.S
 			opts.OnProgress(opts.Progress.Snapshot())
 		}()
 	}
+	budget := opts.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	concurrent := len(sizes)
+	if concurrent > budget {
+		concurrent = budget
+	}
+	concurrent = maxInt(1, concurrent)
+	perSize := maxInt(1, budget/concurrent)
+	var group *perf.RunnerGroup
+	if len(sizes) > 0 && !opts.DisableMemo {
+		// Sharing is best-effort: a sysAt that varies memo-relevant inputs
+		// with size makes RunnerFor refuse below, and that size falls back
+		// to a private memo.
+		group, _ = perf.NewRunnerGroup(m, sysAt(sizes[0]))
+	}
 	points := make([]ScalingPoint, len(sizes))
 	var firstErr error
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxInt(1, runtime.GOMAXPROCS(0)/2))
+	sem := make(chan struct{}, concurrent)
 	for i, n := range sizes {
 		wg.Add(1)
 		go func(i, n int) {
@@ -438,10 +555,19 @@ func SystemSize(ctx context.Context, m model.LLM, sysAt func(procs int) system.S
 			defer func() { <-sem }()
 			o := opts
 			o.Enum.Procs = n
-			o.Workers = 2
+			o.Workers = perSize
 			// The ticker belongs to the sweep's caller, not each size.
 			o.OnProgress = nil
-			res, err := Execution(ctx, m, sysAt(n), o)
+			sys := sysAt(n)
+			if group != nil {
+				if r, err := group.RunnerFor(sys); err == nil {
+					if o.DisablePreScreen {
+						r.DisablePreScreen()
+					}
+					o.sharedRunner = r
+				}
+			}
+			res, err := Execution(ctx, m, sys, o)
 			if err != nil {
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 					return

@@ -3,6 +3,7 @@ package search
 import (
 	"context"
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -151,6 +152,44 @@ func TestSystemSizeSweep(t *testing.T) {
 	if !(pts[3].Best.SampleRate > pts[0].Best.SampleRate) {
 		t.Errorf("64 GPUs (%f) should outperform 16 (%f)",
 			pts[3].Best.SampleRate, pts[0].Best.SampleRate)
+	}
+}
+
+// TestSystemSizeSweepEquivalence extends the two-phase equivalence guarantee
+// to the sweep path: the cross-size shared memo, the subtree prune, and the
+// worker-budget split must leave every scaling point bit-identical to the
+// reference arms that disable them.
+func TestSystemSizeSweepEquivalence(t *testing.T) {
+	m := model.MustPreset("gpt3-13B").WithBatch(32)
+	sizes := Sizes(16, 48)
+	sysAt := func(n int) system.System { return system.A100(n) }
+	base := Options{
+		Enum:   execution.EnumOptions{Features: execution.FeatureSeqPar, MaxInterleave: 2},
+		TopK:   4,
+		Pareto: true,
+	}
+	ref, err := SystemSize(context.Background(), m, sysAt, sizes, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"no-subtree-prune", func(o *Options) { o.DisableSubtreePrune = true }},
+		{"no-shared-memo", func(o *Options) { o.DisableMemo = true }},
+		{"no-prescreen", func(o *Options) { o.DisablePreScreen = true }},
+		{"one-worker", func(o *Options) { o.Workers = 1 }},
+	} {
+		o := base
+		arm.mod(&o)
+		got, err := SystemSize(context.Background(), m, sysAt, sizes, o)
+		if err != nil {
+			t.Fatalf("%s: %v", arm.name, err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("%s: scaling points diverge from the default sweep", arm.name)
+		}
 	}
 }
 
