@@ -65,13 +65,17 @@ func (r *runtimeFlags) apply(ctx context.Context) (context.Context, func(), erro
 			return ctx, nil, fmt.Errorf("cpuprofile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			if cerr := f.Close(); cerr != nil {
+				err = fmt.Errorf("%w (closing profile file: %v)", err, cerr)
+			}
 			cancel()
 			return ctx, nil, fmt.Errorf("cpuprofile: %w", err)
 		}
 		stopProfile = func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "calculon: cpuprofile: %v\n", err)
+			}
 		}
 	}
 	return ctx, func() {

@@ -38,15 +38,25 @@ func cmdTimeline(args []string) error {
 		return err
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pipesim.WriteChromeTrace(f, params); err != nil {
+		if err := writeTrace(*traceOut, params); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s\n", *traceOut)
 	}
 	return pipesim.RenderTimeline(os.Stdout, params, *width)
+}
+
+// writeTrace writes the Chrome trace file, surfacing the Close error that
+// reports a failed flush of buffered writes.
+func writeTrace(path string, params pipesim.Params) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return pipesim.WriteChromeTrace(f, params)
 }
