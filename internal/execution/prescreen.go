@@ -50,6 +50,13 @@ func NewPreScreen(m model.LLM, lim Limits) *PreScreen {
 // layer timing, only the closed-form block weight bytes — and the remaining
 // rows (activations, gradient working space) are non-negative, so the sum
 // here is a true lower bound on each tier's total.
+//
+// The bound must also round identically to the full model's rows on every
+// architecture — a pre-screen that fuses a multiply-add the evaluation does
+// not could reject at the boundary — so the arithmetic below is kept
+// FMA-free (see docs/LINT.md).
+//
+//calculonvet:ordered
 func (p *PreScreen) Check(st Strategy) error {
 	if st.Procs() > p.lim.Procs {
 		return fmt.Errorf("strategy needs %d procs, system has %d", st.Procs(), p.lim.Procs)
@@ -73,7 +80,7 @@ func (p *PreScreen) Check(st Strategy) error {
 	if !st.Inference {
 		grads := weights
 		if st.OptimSharding && st.DPOverlap {
-			grads = minB(weights, 3*blockW+weights/units.Bytes(st.DP))
+			grads = minB(weights, units.Bytes(3*blockW)+weights/units.Bytes(st.DP))
 		}
 		g1 := grads
 		if st.WeightOffload {

@@ -15,7 +15,10 @@ import (
 // The execution pre-screen uses this to bound weight/gradient/optimizer
 // memory analytically during enumeration, before any layer-level evaluation
 // exists; TestBlockWeightBytesMatchesGraph pins the equality against the
-// graph sum so the two can never drift apart.
+// graph sum so the two can never drift apart. The equality must hold on
+// every architecture, so the arithmetic is kept FMA-free (see docs/LINT.md).
+//
+//calculonvet:ordered
 func BlockWeightBytes(m model.LLM, tp int) units.Bytes {
 	if tp < 1 {
 		tp = 1
@@ -24,7 +27,7 @@ func BlockWeightBytes(m model.LLM, tp int) units.Bytes {
 	hl := float64(ceilDiv(m.AttnHeads, tp)) * float64(m.HeadSize())
 	ffl := float64(ceilDiv(m.FF(), tp))
 	ln := 2 * units.Bytes(h) * dtype
-	gemm := func(k, n float64) units.Bytes { return units.Bytes(k*n+n) * dtype }
+	gemm := func(k, n float64) units.Bytes { return units.Bytes(float64(k*n)+n) * dtype }
 	// Accumulated in the execution order of the weight-bearing layers of
 	// Block: attn_ln, attn_qkv, attn_proj, mlp_ln, mlp_fc1, mlp_fc2.
 	return ln + gemm(h, 3*hl) + gemm(hl, h) + ln + gemm(h, ffl) + gemm(ffl, h)

@@ -52,6 +52,12 @@ func (e *eval) inflightMicrobatches() float64 {
 // Offloaded categories keep a Fig. 8 working set — compute, prefetch, and
 // writeback buffers for one block — resident in the first tier and stash
 // the remainder in the second.
+//
+// These rows must agree bit for bit with the pre-screen's analytic lower
+// bound on every architecture, so the arithmetic is kept FMA-free (see
+// docs/LINT.md).
+//
+//calculonvet:ordered
 func (e *eval) memory() (mem1, mem2 MemBreakdown) {
 	blockW := e.tot.WeightBytes
 	weights := blockW * units.Bytes(e.bp)
@@ -71,7 +77,7 @@ func (e *eval) memory() (mem1, mem2 MemBreakdown) {
 		// right behind the backward pass.
 		grads := weights
 		if e.st.OptimSharding && e.st.DPOverlap {
-			grads = minBytes(weights, 3*blockW+weights/units.Bytes(e.st.DP))
+			grads = minBytes(weights, units.Bytes(3*blockW)+weights/units.Bytes(e.st.DP))
 		}
 		mem1.WeightGrads = grads
 		if e.st.WeightOffload {
