@@ -31,6 +31,9 @@ func (s RunnerStats) Feasible() int64 { return s.Evaluated - s.Infeasible }
 // behind a nil-able pointer so the default hot path — millions of Run calls
 // per second across a worker pool sharing one Runner — pays only a
 // predictable nil check, not contended atomic adds on a shared cache line.
+// Access is atomic-only, enforced by calculonvet's atomiccounter analyzer.
+//
+//calculonvet:counter
 type runnerCounters struct {
 	evaluated   atomic.Int64
 	infeasible  atomic.Int64
