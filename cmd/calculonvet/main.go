@@ -1,0 +1,66 @@
+// calculonvet runs the repo's invariant analyzers (internal/lint) over the
+// module: determinism of map-order-sensitive accumulation, ctx-first
+// cancellation plumbing, atomic-only counter access, FMA-safe ordered float
+// arithmetic, and no silently dropped errors at the config/CLI boundary.
+//
+// Usage:
+//
+//	go run ./cmd/calculonvet [flags] [packages]
+//
+// Packages default to ./... relative to the current directory. The exit
+// status is 0 when the suite is clean, 1 on findings, 2 on operational
+// errors — the same contract as go vet, so CI can gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"calculon/internal/lint"
+)
+
+func main() {
+	analyzers := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite, err := lint.ByName(*analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.LoadPackages(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Run(pkgs, suite)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "calculonvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"calculon/internal/lint"
+)
+
+// TestSuiteCleanOnRepo is the self-hosting gate: the shipped tree must carry
+// zero violations (every finding the suite ever raised was either fixed or
+// explicitly annotated), so any diagnostic here is a regression.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	root := strings.TrimSpace(string(out))
+	pkgs, err := lint.LoadPackages(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("loaded only %d packages from %s; loader is dropping targets", len(pkgs), root)
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo is not vet-clean: %s", d)
+	}
+}

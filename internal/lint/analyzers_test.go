@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"testing"
+
+	"calculon/internal/lint"
+	"calculon/internal/lint/linttest"
+)
+
+// Each analyzer runs over its fixture package in testdata/src, which seeds
+// every violation shape the analyzer knows alongside the clean idioms it must
+// not flag; expectations live in `// want` comments next to the seeded lines.
+
+func TestMapRange(t *testing.T) {
+	linttest.Run(t, lint.MapRange, "testdata/src/maprange")
+}
+
+func TestCtxFirst(t *testing.T) {
+	linttest.Run(t, lint.CtxFirst, "testdata/src/ctxfirst")
+}
+
+func TestAtomicCounter(t *testing.T) {
+	linttest.Run(t, lint.AtomicCounter, "testdata/src/atomiccounter")
+}
+
+func TestFloatOrder(t *testing.T) {
+	linttest.Run(t, lint.FloatOrder, "testdata/src/floatorder")
+}
+
+func TestNakedErr(t *testing.T) {
+	linttest.Run(t, lint.NakedErr, "testdata/src/nakederr")
+}
+
+// TestByName pins the flag-parsing surface of the suite.
+func TestByName(t *testing.T) {
+	all, err := lint.ByName("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want all 5", len(all), err)
+	}
+	two, err := lint.ByName("maprange, floatorder")
+	if err != nil || len(two) != 2 || two[0].Name != "maprange" || two[1].Name != "floatorder" {
+		t.Fatalf("ByName(maprange, floatorder) = %v, err %v", two, err)
+	}
+	if _, err := lint.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) succeeded; want error")
+	}
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFirst proves the cancellation contract of PR 1: every search stops
+// within one work chunk of ctx cancellation without leaking goroutines.
+// That holds only if (1) contexts ride first in every signature so callers
+// cannot forget them, (2) blocking exported entry points of the search and
+// experiment engines accept a context at all, (3) every select that a loop
+// re-enters offers <-ctx.Done() so a stalled channel peer cannot wedge a
+// worker, and (4) library code never mints its own background context,
+// which would detach a subtree of work from the caller's cancellation.
+// Rule 1 applies module-wide; rules 2–4 are scoped to the packages that own
+// goroutines and channel plumbing (internal/search, internal/experiments).
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must come first, blocking exported funcs must take one, loops must select on ctx.Done()",
+	Run:  runCtxFirst,
+}
+
+// ctxScoped reports whether the package carries the concurrency rules.
+// Single-segment paths are the golden-test fixtures.
+func ctxScoped(pkgPath string) bool {
+	return strings.HasSuffix(pkgPath, "internal/search") ||
+		strings.HasSuffix(pkgPath, "internal/experiments") ||
+		!strings.Contains(pkgPath, "/")
+}
+
+func runCtxFirst(pass *Pass) error {
+	scoped := ctxScoped(pass.PkgPath)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCtxPosition(pass, fn)
+			if fn.Body == nil || !scoped {
+				continue
+			}
+			if fn.Name.IsExported() && !funcHasCtxParam(pass.Info, fn.Type) && canBlock(pass, fn.Body) {
+				pass.Reportf(fn.Pos(), "exported %s can block (channels or goroutines in its body) but takes no context.Context", fn.Name.Name)
+			}
+			checkLoopSelects(pass, fn)
+			checkNoBackground(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkCtxPosition enforces ctx-first on any function that takes a context.
+func checkCtxPosition(pass *Pass, fn *ast.FuncDecl) {
+	params := fn.Type.Params
+	if params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass.Info.TypeOf(field.Type)) && pos != 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter of %s", fn.Name.Name)
+		}
+		pos += n
+	}
+}
+
+// canBlock reports whether the body performs channel operations, selects, or
+// launches goroutines — the operations that can park a caller indefinitely.
+func canBlock(pass *Pass, body *ast.BlockStmt) bool {
+	blocking := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt, *ast.GoStmt:
+			blocking = true
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				blocking = true
+			}
+		case *ast.RangeStmt:
+			if _, ok := pass.Info.TypeOf(e.X).Underlying().(*types.Chan); ok {
+				blocking = true
+			}
+		}
+		return !blocking
+	})
+	return blocking
+}
+
+// checkLoopSelects flags selects that a for-loop re-enters without offering
+// <-ctx.Done(), inside functions that do have a context in scope.
+func checkLoopSelects(pass *Pass, fn *ast.FuncDecl) {
+	if !funcHasCtxParam(pass.Info, fn.Type) {
+		return
+	}
+	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		inLoop := false
+		for _, anc := range stack {
+			switch anc.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inLoop = true
+			}
+		}
+		if inLoop && !selectHasCtxDone(pass, sel) {
+			pass.Reportf(sel.Pos(), "select inside a loop has no <-ctx.Done() case; a stalled peer would wedge this worker past cancellation")
+		}
+		return true
+	})
+}
+
+// selectHasCtxDone reports whether any case receives from the Done channel
+// of a context.Context value.
+func selectHasCtxDone(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		found := false
+		ast.Inspect(comm.Comm, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			s, ok := call.Fun.(*ast.SelectorExpr)
+			if ok && s.Sel.Name == "Done" && isContextType(pass.Info.TypeOf(s.X)) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNoBackground flags context.Background()/TODO() in scoped library
+// code. The one legitimate shape is the nil-default at the top of a
+// function that already takes a ctx parameter ("if ctx == nil { ctx =
+// context.Background() }"); anything else detaches work from the caller.
+func checkNoBackground(pass *Pass, fn *ast.FuncDecl) {
+	hasCtx := funcHasCtxParam(pass.Info, fn.Type)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range []string{"Background", "TODO"} {
+			if calleeIsPkgFunc(pass.Info, call, "context", name) && !hasCtx {
+				pass.Reportf(call.Pos(), "context.%s() in library code detaches work from the caller's cancellation; accept a ctx parameter instead", name)
+			}
+		}
+		return true
+	})
+}

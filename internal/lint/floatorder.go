@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrder proves the numeric half of the equivalence contract. The
+// pre-screen soundness proof and the §7 memory rows (docs/MODEL.md §13)
+// depend on float sums being evaluated in one exact order with one exact
+// rounding per operation; the golden tests pin digits at 1e-9. Go's spec
+// guarantees no reassociation, but it explicitly permits fusing a*b±c into
+// a single FMA — which rounds once instead of twice and therefore produces
+// different bits on architectures whose compilers fuse (arm64, ppc64,
+// s390x, riscv64) than on amd64. A reproduction validated on one machine
+// can silently drift on another, the exact cross-framework gap Kundu et al.
+// (arXiv:2407.14645) report.
+//
+// Inside functions annotated //calculonvet:ordered this analyzer flags:
+//
+//   - any float addition or subtraction with a bare multiplication operand
+//     (a*b + c, x += a*b): wrap the product in an explicit conversion —
+//     float64(a*b) + c — which the spec defines as a rounding barrier;
+//   - any range over a map: iteration order would reorder the accumulation.
+//
+// The check is per-expression; fusion across statements is possible in
+// theory but not performed by gc, and stays out of scope.
+var FloatOrder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "//calculonvet:ordered functions must not contain FMA-fusible float expressions or map iteration",
+	Run:  runFloatOrder,
+}
+
+func runFloatOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, "ordered") {
+				continue
+			}
+			checkOrderedFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkOrderedFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.RangeStmt:
+			if _, ok := pass.Info.TypeOf(e.X).Underlying().(*types.Map); ok {
+				pass.Reportf(e.Pos(), "map iteration inside //calculonvet:ordered %s reorders the accumulation", fn.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			if e.Op != token.ADD && e.Op != token.SUB {
+				return true
+			}
+			if !isFloat(pass.Info.TypeOf(e)) {
+				return true
+			}
+			for _, operand := range []ast.Expr{e.X, e.Y} {
+				if isBareFloatMul(pass, operand) {
+					pass.Reportf(e.Pos(), "a*b %s c may fuse into an FMA and round differently across architectures; wrap the product in an explicit conversion", e.Op)
+				}
+			}
+		case *ast.AssignStmt:
+			if e.Tok != token.ADD_ASSIGN && e.Tok != token.SUB_ASSIGN {
+				return true
+			}
+			for _, rhs := range e.Rhs {
+				if isFloat(pass.Info.TypeOf(rhs)) && isBareFloatMul(pass, rhs) {
+					pass.Reportf(e.Pos(), "x %s a*b may fuse into an FMA and round differently across architectures; wrap the product in an explicit conversion", e.Tok)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isBareFloatMul reports whether e is a float multiplication not insulated
+// by an explicit conversion (a CallExpr conversion is the spec-defined
+// rounding barrier, so float64(a*b) is safe; parentheses are not a
+// barrier).
+func isBareFloatMul(pass *Pass, e ast.Expr) bool {
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	return ok && b.Op == token.MUL && isFloat(pass.Info.TypeOf(b))
+}

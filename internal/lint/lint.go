@@ -1,0 +1,313 @@
+// Package lint is calculonvet's analysis core: a small, dependency-free
+// counterpart of golang.org/x/tools/go/analysis built on the standard
+// library's go/ast and go/types. It exists because the invariants the
+// search engines rest on — deterministic float accumulation order, ctx-first
+// cancellation, atomic-only counter access, FMA-safe ordered arithmetic,
+// no silently dropped errors around config I/O — are contracts that
+// randomized runtime tests can only sample; the analyzers here prove them
+// over every function at compile time and fail CI on violations.
+//
+// The package defines the Analyzer/Pass/Diagnostic trio (mirroring
+// go/analysis closely enough that a future migration to the real
+// multichecker is mechanical), a package loader that type-checks the module
+// from source using `go list -export` compile artifacts, and two source
+// annotations the analyzers honor:
+//
+//	//calculonvet:counter    on a struct field (or a struct's doc comment):
+//	                         the field is a shared counter and may only be
+//	                         touched through sync/atomic.
+//	//calculonvet:ordered    on a function: its float arithmetic is part of
+//	                         a proof that depends on exact accumulation
+//	                         order and rounding (docs/MODEL.md §13), so map
+//	                         iteration and FMA-fusible expressions are
+//	                         rejected.
+//	//calculonvet:unordered  on (or immediately above) a map-range statement
+//	                         or sync.Map.Range call: the iteration provably
+//	                         feeds only order-insensitive sinks.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. Run receives a fully type-checked
+// package and reports violations through the Pass.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and flags.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer proves.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one reported violation, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	PkgPath  string
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics in deterministic (file, line, column, analyzer) order.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Syntax,
+				PkgPath:  pkg.PkgPath,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full calculonvet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{MapRange, CtxFirst, AtomicCounter, FloatOrder, NakedErr}
+}
+
+// ByName resolves a comma-separated analyzer list ("" means all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	index := map[string]*Analyzer{}
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// --- annotation scanning -------------------------------------------------
+
+const directivePrefix = "//calculonvet:"
+
+// hasDirective reports whether the comment group carries the directive
+// (e.g. name "ordered" matches "//calculonvet:ordered").
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directivePrefix+name {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveLines returns the set of lines in file on which the directive
+// appears, so statement-level annotations ("//calculonvet:unordered") can be
+// matched against the annotated line or the line directly above it.
+func directiveLines(fset *token.FileSet, file *ast.File, name string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == directivePrefix+name {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// suppressedAt reports whether a directive line covers pos: same line or the
+// line immediately above.
+func suppressedAt(fset *token.FileSet, lines map[int]bool, pos token.Pos) bool {
+	l := fset.Position(pos).Line
+	return lines[l] || lines[l-1]
+}
+
+// --- shared type and AST helpers ----------------------------------------
+
+// isFloat reports whether t is (or is a named type over) a floating-point
+// type — units.Seconds, units.Bytes and friends included.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// rootObj resolves the leftmost identifier of an lvalue expression (x,
+// x.f.g, x[i]) to its object, or nil when the root is not a plain
+// identifier.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := info.Uses[v]; o != nil {
+				return o
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside [lo, hi] —
+// used to separate loop-local accumulators from ones visible outside.
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj != nil && obj.Pos() >= lo && obj.Pos() <= hi
+}
+
+// calleeObj resolves a call's callee to its types object (function or
+// method), or nil for indirect calls and type conversions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[f]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[f]; sel != nil {
+			return sel.Obj()
+		}
+		return info.Uses[f.Sel]
+	}
+	return nil
+}
+
+// calleeIsPkgFunc reports whether the call is pkgpath.name(...).
+func calleeIsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// errorReturningCall reports whether the call produces an error as its only
+// or last result. Type conversions and builtins report false.
+func errorReturningCall(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		if info.Types[call.Fun].IsType() {
+			return false // conversion
+		}
+		return isErrorType(tv.Type)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// funcHasCtxParam reports whether the function type takes a context.Context
+// anywhere in its parameter list.
+func funcHasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		if isContextType(info.TypeOf(f.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStack traverses root calling fn with each node and the stack of its
+// ancestors (outermost first, excluding the node itself). Returning false
+// from fn prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}

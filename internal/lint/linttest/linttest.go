@@ -1,0 +1,112 @@
+// Package linttest is the golden-test harness for calculonvet's analyzers,
+// modeled on golang.org/x/tools/go/analysis/analysistest: a testdata
+// package annotates the lines where diagnostics are expected with
+//
+//	code() // want "regexp" "another regexp"
+//
+// and Run type-checks the package, applies one analyzer, and fails the test
+// on any unexpected diagnostic or unmatched expectation. Expectations match
+// by (file, line) and a regexp over the message, so tests pin behavior, not
+// exact wording.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"calculon/internal/lint"
+)
+
+// expectation is one `// want` regexp waiting for a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads the package rooted at dir, applies the analyzer, and compares
+// diagnostics against the `// want` annotations.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// wantRE extracts the quoted regexps of a `// want` comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans every comment of the package for want annotations.
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// matchWant consumes the first unused expectation matching the diagnostic.
+func matchWant(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnose is a convenience for negative smoke tests: it runs the analyzers
+// over the package at dir and returns the rendered diagnostics.
+func Diagnose(t *testing.T, dir string, analyzers ...*lint.Analyzer) []string {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprint(d))
+	}
+	return out
+}

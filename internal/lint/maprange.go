@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange proves the determinism contract of the search pipeline: results
+// are bit-identical regardless of worker count because every accumulation
+// and every tie-break runs in a defined order. Go map iteration order is
+// deliberately randomized, so a `range` over a map (or a sync.Map.Range
+// callback) whose body accumulates floats, appends to an outer slice, or
+// sends on a channel injects nondeterminism that no runtime test reliably
+// catches — a 5M-strategy sweep can agree with itself for weeks and then
+// not.
+//
+// Two sinks are recognized as order-insensitive and allowed: appending keys
+// or values that the enclosing function subsequently sorts (the
+// collect-then-sort idiom of PresetNames and benchdiff), and anything under
+// a //calculonvet:unordered annotation on the range statement.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flags map iteration whose order can reach results: float accumulation, unsorted appends, channel sends",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	for _, file := range pass.Files {
+		suppressed := directiveLines(pass.Fset, file, "unordered")
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch stmt := n.(type) {
+				case *ast.RangeStmt:
+					if _, ok := pass.Info.TypeOf(stmt.X).Underlying().(*types.Map); !ok {
+						return true
+					}
+					if suppressedAt(pass.Fset, suppressed, stmt.Pos()) {
+						return true
+					}
+					checkUnorderedBody(pass, fn, stmt.Body, stmt.Pos(), stmt.End(), "map iteration")
+				case *ast.CallExpr:
+					if !isSyncMapRange(pass.Info, stmt) {
+						return true
+					}
+					if suppressedAt(pass.Fset, suppressed, stmt.Pos()) {
+						return true
+					}
+					if lit, ok := stmt.Args[0].(*ast.FuncLit); ok {
+						checkUnorderedBody(pass, fn, lit.Body, lit.Pos(), lit.End(), "sync.Map.Range")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isSyncMapRange matches m.Range(func(k, v any) bool { ... }) on *sync.Map.
+func isSyncMapRange(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" || len(call.Args) != 1 {
+		return false
+	}
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Map" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}
+
+// checkUnorderedBody flags order-sensitive sinks inside one iteration body
+// whose visit order is undefined. lo..hi spans the iteration construct, so
+// objects declared inside it (the loop variables, body locals) are exempt.
+func checkUnorderedBody(pass *Pass, fn *ast.FuncDecl, body *ast.BlockStmt, lo, hi token.Pos, what string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range s.Lhs {
+					if !isFloat(pass.Info.TypeOf(lhs)) {
+						continue
+					}
+					if obj := rootObj(pass.Info, lhs); obj != nil && !declaredWithin(obj, lo, hi) {
+						pass.Reportf(s.Pos(), "float accumulation into %s in %s order is nondeterministic", obj.Name(), what)
+					}
+				}
+			case token.ASSIGN:
+				for i, lhs := range s.Lhs {
+					if i >= len(s.Rhs) {
+						break
+					}
+					obj := rootObj(pass.Info, lhs)
+					if obj == nil || declaredWithin(obj, lo, hi) {
+						continue
+					}
+					if call, ok := s.Rhs[i].(*ast.CallExpr); ok && isAppendTo(pass.Info, call, obj) {
+						if !sortedAfter(pass, fn, obj, hi) {
+							pass.Reportf(s.Pos(), "append to %s in %s order is nondeterministic; sort it afterwards or annotate //calculonvet:unordered", obj.Name(), what)
+						}
+						continue
+					}
+					if isFloat(pass.Info.TypeOf(lhs)) && mentionsObj(pass.Info, s.Rhs[i], obj) {
+						pass.Reportf(s.Pos(), "float accumulation into %s in %s order is nondeterministic", obj.Name(), what)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(), "channel send in %s order is nondeterministic for the receiver", what)
+		}
+		return true
+	})
+}
+
+// isAppendTo matches append(obj, ...).
+func isAppendTo(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return len(call.Args) > 0 && rootObj(info, call.Args[0]) == obj
+}
+
+// mentionsObj reports whether e references obj anywhere.
+func mentionsObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether, somewhere after pos in fn, obj is passed to a
+// sort/slices sorting function — the collect-then-sort idiom that makes an
+// append inside map iteration order-insensitive.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		callee, ok := calleeObj(pass.Info, call).(*types.Func)
+		if !ok || callee.Pkg() == nil {
+			return true
+		}
+		switch callee.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObj(pass.Info, arg) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

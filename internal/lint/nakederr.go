@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NakedErr guards the config and CLI boundary, where a silently dropped
+// error turns into a wrong experiment rather than a crash: a truncated CPU
+// profile from an unchecked Close, a half-written scenario file, a JSON
+// round-trip that quietly produced zero values. Scoped to internal/config
+// and the cmd/ tree (library hot paths return errors by construction and
+// are exercised by the equivalence tests), it flags:
+//
+//   - expression statements that discard an error-returning call (the fmt
+//     print family is exempt, per errcheck convention);
+//   - deferred (*os.File).Close, whose error — the one that reports a failed
+//     flush of buffered writes — vanishes; close explicitly on the write
+//     path or check it in a defer closure;
+//   - `_ =` discards of errors from encoding/json or the config package,
+//     the round-trips whose failure modes are silent zero values.
+var NakedErr = &Analyzer{
+	Name: "nakederr",
+	Doc:  "no silently discarded errors from config parsing, JSON round-trips, and file lifecycles in cmd/ and internal/config",
+	Run:  runNakedErr,
+}
+
+// nakedErrScoped limits the analyzer to the packages whose dropped errors
+// corrupt results silently. Single-segment paths are the golden-test
+// fixtures.
+func nakedErrScoped(pkgPath string) bool {
+	return strings.Contains(pkgPath, "/cmd/") ||
+		strings.HasPrefix(pkgPath, "cmd/") ||
+		strings.HasSuffix(pkgPath, "internal/config") ||
+		!strings.Contains(pkgPath, "/")
+}
+
+func runNakedErr(pass *Pass) error {
+	if !nakedErrScoped(pass.PkgPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok || !errorReturningCall(pass.Info, call) || exemptCallee(pass, call) {
+					return true
+				}
+				pass.Reportf(s.Pos(), "%s returns an error that is silently discarded", calleeName(pass, call))
+			case *ast.DeferStmt:
+				if isFileClose(pass, s.Call) {
+					pass.Reportf(s.Pos(), "deferred Close on an *os.File discards the error that reports a failed write-back; close explicitly on the success path")
+				}
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exemptCallee excludes the fmt print family, whose errors are discarded by
+// near-universal convention.
+func exemptCallee(pass *Pass, call *ast.CallExpr) bool {
+	fn, ok := calleeObj(pass.Info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print") ||
+		fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint")
+}
+
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	if fn, ok := calleeObj(pass.Info, call).(*types.Func); ok {
+		return fn.Name()
+	}
+	return "call"
+}
+
+// isFileClose matches x.Close() where x is an *os.File.
+func isFileClose(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "File" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "os"
+}
+
+// checkBlankErrAssign flags assignments that blank out the error of a
+// json/config round-trip: `_ = f(...)` and `v, _ := f(...)` where the blank
+// sits in the (last) error position.
+func checkBlankErrAssign(pass *Pass, s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	last, ok := s.Lhs[len(s.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok || !errorReturningCall(pass.Info, call) {
+		return
+	}
+	fn, ok := calleeObj(pass.Info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	pkg := fn.Pkg().Path()
+	if pkg == "encoding/json" || strings.HasSuffix(pkg, "internal/config") || pkg == "config" {
+		pass.Reportf(s.Pos(), "error from %s.%s is discarded with _ ; a failed round-trip yields silent zero values", pkg, fn.Name())
+	}
+}

@@ -1,0 +1,43 @@
+// Package atomiccounter is the golden-test fixture for the atomiccounter
+// analyzer.
+package atomiccounter
+
+import "sync/atomic"
+
+// stats mixes annotated counters with an ordinary field.
+type stats struct {
+	//calculonvet:counter
+	evaluated atomic.Int64
+	//calculonvet:counter
+	hits int64
+	name string
+}
+
+// counters demonstrates the struct-wide form of the annotation.
+//
+//calculonvet:counter
+type counters struct {
+	pruned atomic.Int64
+}
+
+// sanctioned exercises every allowed access shape.
+func sanctioned(s *stats, c *counters) int64 {
+	s.evaluated.Add(1)
+	atomic.AddInt64(&s.hits, 1)
+	c.pruned.Store(0)
+	s.name = "ok" // unannotated field: plain access is fine
+	return s.evaluated.Load() + atomic.LoadInt64(&s.hits)
+}
+
+// violations exercises every banned shape.
+func violations(s *stats, c *counters) int64 {
+	s.hits++    // want "counter field hits .* must be accessed via sync/atomic only"
+	x := s.hits // want "counter field hits .* must be accessed via sync/atomic only"
+	copied := s.evaluated.Load() + 0
+	_ = copied
+	v := s.evaluated // want "counter field evaluated .* must be accessed via sync/atomic only"
+	_ = v.Load()
+	p := &c.pruned // want "counter field pruned .* must be accessed via sync/atomic only"
+	_ = p
+	return x
+}

@@ -1,0 +1,73 @@
+// Package ctxfirst is the golden-test fixture for the ctxfirst analyzer.
+package ctxfirst
+
+import "context"
+
+// Search blocks on its work channel but accepts no context, so a caller
+// cannot cancel it.
+func Search(work chan int) int { // want "exported Search can block .* but takes no context.Context"
+	return <-work
+}
+
+// Misplaced buries the context behind a data parameter.
+func Misplaced(n int, ctx context.Context) { // want "context.Context must be the first parameter of Misplaced"
+	_ = n
+	<-ctx.Done()
+}
+
+// Drain re-enters a select that never offers ctx.Done, so a stalled peer
+// wedges it past cancellation.
+func Drain(ctx context.Context, work chan int) {
+	for {
+		select { // want "select inside a loop has no <-ctx.Done"
+		case v := <-work:
+			if v < 0 {
+				return
+			}
+		}
+	}
+}
+
+// Good is the shape the analyzer exists to enforce.
+func Good(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-work:
+			if v < 0 {
+				return
+			}
+		}
+	}
+}
+
+// Detached mints a context of its own instead of accepting one.
+func Detached(work chan int, f func(context.Context, chan int)) {
+	f(context.Background(), work) // want "in library code detaches work"
+}
+
+// DetachedTODO is the TODO spelling of the same escape.
+func DetachedTODO(work chan int, f func(context.Context, chan int)) {
+	f(context.TODO(), work) // want "in library code detaches work"
+}
+
+// Defaulted may default a nil context because the caller still owns the real
+// one.
+func Defaulted(ctx context.Context, work chan int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-ctx.Done():
+		return 0
+	case v := <-work:
+		return v
+	}
+}
+
+// drain is unexported: internal helpers inherit their caller's context
+// discipline and are out of scope for the exported-entry-point rule.
+func drain(work chan int) int {
+	return <-work
+}

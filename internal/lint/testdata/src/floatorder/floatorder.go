@@ -1,0 +1,59 @@
+// Package floatorder is the golden-test fixture for the floatorder analyzer.
+package floatorder
+
+// bytes mirrors the model's named float types (units.Bytes et al.).
+type bytes float64
+
+// fma is the canonical hazard: a*b+c may fuse into one rounding.
+//
+//calculonvet:ordered
+func fma(a, b, c float64) float64 {
+	return a*b + c // want "may fuse into an FMA"
+}
+
+// safe insulates the product behind an explicit conversion, the spec-defined
+// rounding barrier.
+//
+//calculonvet:ordered
+func safe(a, b, c float64) float64 {
+	return float64(a*b) + c
+}
+
+// parens shows that parentheses are NOT a barrier.
+//
+//calculonvet:ordered
+func parens(a, b, c float64) float64 {
+	return (a * b) + c // want "may fuse into an FMA"
+}
+
+// compound catches the assignment spelling of the same hazard.
+//
+//calculonvet:ordered
+func compound(t, a, b float64) float64 {
+	t += a * b // want "may fuse into an FMA"
+	return t
+}
+
+// named proves the check sees through named float types.
+//
+//calculonvet:ordered
+func named(k, n bytes) bytes {
+	return k*n + 1 // want "may fuse into an FMA"
+}
+
+// mapAccum would accumulate in randomized order inside an ordered proof.
+//
+//calculonvet:ordered
+func mapAccum(xs map[string]float64) float64 {
+	var t float64
+	for _, v := range xs { // want "map iteration inside //calculonvet:ordered mapAccum"
+		t = t + v
+	}
+	return t
+}
+
+// unannotated code is out of scope even when fusible: the annotation marks
+// exactly the functions whose digits a proof pins.
+func unannotated(a, b, c float64) float64 {
+	return a*b + c
+}

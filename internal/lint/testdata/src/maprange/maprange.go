@@ -1,0 +1,96 @@
+// Package maprange is the golden-test fixture for the maprange analyzer.
+package maprange
+
+import (
+	"sort"
+	"sync"
+)
+
+// sumValues accumulates floats in map order — the canonical violation.
+func sumValues(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float accumulation into total in map iteration order is nondeterministic"
+	}
+	return total
+}
+
+// sumSelfAssign is the same bug spelled without a compound token.
+func sumSelfAssign(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total = total + v // want "float accumulation into total in map iteration order is nondeterministic"
+	}
+	return total
+}
+
+// collectUnsorted appends in map order and never restores an order.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys in map iteration order is nondeterministic"
+	}
+	return keys
+}
+
+// collectSorted is the sanctioned collect-then-sort idiom.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sendAll exposes iteration order to the channel's receiver.
+func sendAll(m map[string]int, out chan<- int) {
+	for _, v := range m {
+		out <- v // want "channel send in map iteration order is nondeterministic"
+	}
+}
+
+// annotated carries the escape hatch for an order-insensitive sink.
+func annotated(m map[string]float64) float64 {
+	var max float64
+	//calculonvet:unordered
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// syncMapSum accumulates through a sync.Map.Range callback.
+func syncMapSum(m *sync.Map) float64 {
+	var total float64
+	m.Range(func(_, v any) bool {
+		total += v.(float64) // want "float accumulation into total in sync.Map.Range order is nondeterministic"
+		return true
+	})
+	return total
+}
+
+// sliceSum iterates a slice: ordered, no diagnostics.
+func sliceSum(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// localAccum declares its accumulator inside the loop body: invisible outside
+// a single iteration, so order cannot reach it.
+func localAccum(m map[string][]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for k := range m {
+		var rowSum float64
+		for _, v := range m[k] {
+			rowSum += v
+		}
+		_ = rowSum
+	}
+	return out
+}

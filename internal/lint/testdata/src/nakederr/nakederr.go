@@ -1,0 +1,54 @@
+// Package nakederr is the golden-test fixture for the nakederr analyzer.
+package nakederr
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// write drops every error a file write can produce.
+func write(path string, data []byte) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close() // want "deferred Close on an .os.File discards the error"
+	f.Write(data)   // want "Write returns an error that is silently discarded"
+	fmt.Println("wrote", path)
+}
+
+// decode blanks the unmarshal error, yielding silent zero values.
+func decode(data []byte) map[string]int {
+	var out map[string]int
+	_ = json.Unmarshal(data, &out) // want "error from encoding/json.Unmarshal is discarded"
+	return out
+}
+
+// marshal blanks the error in a multi-value assignment.
+func marshal(v any) []byte {
+	b, _ := json.Marshal(v) // want "error from encoding/json.Marshal is discarded"
+	return b
+}
+
+// bail discards the Close error on an early-exit path.
+func bail(f *os.File, err error) error {
+	if err != nil {
+		f.Close() // want "Close returns an error that is silently discarded"
+		return err
+	}
+	return nil
+}
+
+// checked is the clean shape: every error reaches the caller.
+func checked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() // want "Close returns an error that is silently discarded"
+		return err
+	}
+	return f.Close()
+}
