@@ -98,10 +98,12 @@ func parseBenchOutput(r io.Reader) ([]Measurement, error) {
 	return out, sc.Err()
 }
 
-// compare checks every baseline metric that the fresh run also produced.
-// It returns one human-readable row per comparison and an error when any
-// metric regressed beyond the tolerance or a baseline metric is missing
-// from the run.
+// compare checks every baseline metric against the fresh run. Every baseline
+// entry produces a visible row — a comparison when the run measured it, an
+// explicit "missing" marker when it did not — so a benchmark that silently
+// disappears from the -bench filter can never fake a green gate. It returns
+// the rows and an error when any metric regressed beyond the tolerance or a
+// baseline entry is missing from the run.
 func compare(base Baseline, fresh []Measurement, tolerance float64) ([]string, error) {
 	got := map[string]map[string]float64{}
 	for _, m := range fresh {
@@ -118,6 +120,15 @@ func compare(base Baseline, fresh []Measurement, tolerance float64) ([]string, e
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		if got[name] == nil {
+			// The whole benchmark vanished: aggregate into one row instead of
+			// one line per metric, and say what to check.
+			row := fmt.Sprintf("%s: missing entirely from the fresh run (%d baseline metrics unchecked — renamed, deleted, or dropped from the -bench filter?)",
+				name, len(base.Benchmarks[name]))
+			rows = append(rows, row)
+			failures = append(failures, row)
+			continue
+		}
 		metrics := make([]string, 0, len(base.Benchmarks[name]))
 		for m := range base.Benchmarks[name] {
 			metrics = append(metrics, m)
@@ -127,7 +138,9 @@ func compare(base Baseline, fresh []Measurement, tolerance float64) ([]string, e
 			want := base.Benchmarks[name][metric]
 			have, ok := got[name][metric]
 			if !ok {
-				failures = append(failures, fmt.Sprintf("%s %s: missing from the fresh run", name, metric))
+				row := fmt.Sprintf("%s %s: baseline %.0f, missing from the fresh run", name, metric, want)
+				rows = append(rows, row)
+				failures = append(failures, row)
 				continue
 			}
 			delta := fmt.Sprintf("%+.1f%%", 100*(have/want-1))
@@ -160,11 +173,16 @@ func compare(base Baseline, fresh []Measurement, tolerance float64) ([]string, e
 // update folds the fresh measurements into the baseline, keeping the custom
 // metrics and allocs/op (ns/op and B/op are machine noise for this gate;
 // strategies/s is the throughput contract and allocs/op the allocation one).
-func update(base *Baseline, fresh []Measurement) {
+// Baseline entries the run did not exercise are kept — a partial -bench
+// filter must not erase the rest of the gate — but their names are returned
+// so the caller can warn about entries that may be stale.
+func update(base *Baseline, fresh []Measurement) (stale []string) {
 	if base.Benchmarks == nil {
 		base.Benchmarks = map[string]map[string]float64{}
 	}
+	ran := map[string]bool{}
 	for _, m := range fresh {
+		ran[m.Benchmark] = true
 		switch m.Metric {
 		case "ns/op", "B/op":
 			continue
@@ -174,6 +192,13 @@ func update(base *Baseline, fresh []Measurement) {
 		}
 		base.Benchmarks[m.Benchmark][m.Metric] = m.Value
 	}
+	for name := range base.Benchmarks {
+		if !ran[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	return stale
 }
 
 func run() error {
@@ -197,7 +222,9 @@ func run() error {
 				return fmt.Errorf("parsing %s: %w", *baselinePath, err)
 			}
 		}
-		update(&base, fresh)
+		for _, name := range update(&base, fresh) {
+			fmt.Fprintf(os.Stderr, "benchdiff: warning: baseline entry %s was not in this run; kept as-is (delete it from the baseline if the benchmark is gone)\n", name)
+		}
 		raw, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {
 			return err

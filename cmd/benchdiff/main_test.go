@@ -81,6 +81,53 @@ func TestCompareMissingMetricFails(t *testing.T) {
 	}
 }
 
+func TestCompareMissingBenchmarkIsReportedInRows(t *testing.T) {
+	// A benchmark that vanished from the run must show up in the printed
+	// rows (not just the error) as one aggregated line naming it.
+	base := Baseline{Benchmarks: map[string]map[string]float64{
+		"BenchmarkExecutionSearch": {"strategies/s": 100_000, "allocs/op": 12},
+		"BenchmarkSystemSizeSweep": {"strategies/s": 200_000},
+	}}
+	fresh := []Measurement{{"BenchmarkSystemSizeSweep", "strategies/s", 210_000}}
+	rows, err := compare(base, fresh, 0.30)
+	if err == nil {
+		t.Fatal("a missing benchmark must fail the gate")
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v, want the missing benchmark plus one comparison", rows)
+	}
+	if !strings.Contains(rows[0], "BenchmarkExecutionSearch") ||
+		!strings.Contains(rows[0], "missing entirely") ||
+		!strings.Contains(rows[0], "2 baseline metrics") {
+		t.Errorf("missing-benchmark row = %q", rows[0])
+	}
+	if !strings.Contains(err.Error(), "missing entirely") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCompareMissingMetricIsReportedInRows(t *testing.T) {
+	// The benchmark ran but stopped emitting a baselined metric: the row
+	// must name the metric and its baseline value.
+	base := Baseline{Benchmarks: map[string]map[string]float64{
+		"BenchmarkExecutionSearch": {"strategies/s": 100_000, "allocs/op": 12},
+	}}
+	fresh := []Measurement{{"BenchmarkExecutionSearch", "strategies/s", 100_000}}
+	rows, err := compare(base, fresh, 0.30)
+	if err == nil {
+		t.Fatal("a missing metric must fail the gate")
+	}
+	var found bool
+	for _, r := range rows {
+		if strings.Contains(r, "allocs/op") && strings.Contains(r, "missing from the fresh run") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rows = %v, want a row naming the missing allocs/op metric", rows)
+	}
+}
+
 func TestCompareImprovementPasses(t *testing.T) {
 	fresh := []Measurement{{"BenchmarkExecutionSearch", "strategies/s", 250_000}}
 	if _, err := compare(baselineWith(100_000), fresh, 0.30); err != nil {
@@ -99,6 +146,24 @@ func TestUpdateKeepsCustomMetricsAndAllocs(t *testing.T) {
 	m := base.Benchmarks["BenchmarkExecutionSearch"]
 	if len(m) != 2 || m["strategies/s"] != 123456 || m["allocs/op"] != 12 {
 		t.Fatalf("baseline after update: %v", m)
+	}
+}
+
+func TestUpdateReportsStaleEntries(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]map[string]float64{
+		"BenchmarkGone":            {"strategies/s": 1},
+		"BenchmarkAlsoGone":        {"strategies/s": 2},
+		"BenchmarkExecutionSearch": {"strategies/s": 3},
+	}}
+	stale := update(&base, []Measurement{{"BenchmarkExecutionSearch", "strategies/s", 4}})
+	if len(stale) != 2 || stale[0] != "BenchmarkAlsoGone" || stale[1] != "BenchmarkGone" {
+		t.Fatalf("stale = %v, want the two benchmarks absent from the run, sorted", stale)
+	}
+	if base.Benchmarks["BenchmarkGone"]["strategies/s"] != 1 {
+		t.Error("stale entries must be kept, not erased, by a partial run")
+	}
+	if base.Benchmarks["BenchmarkExecutionSearch"]["strategies/s"] != 4 {
+		t.Error("measured entries must be refreshed")
 	}
 }
 
