@@ -1,0 +1,47 @@
+# Development entry points. CI runs `make lint` as its lint gate; the other
+# targets mirror the remaining CI jobs so a local run reproduces them.
+
+GO ?= go
+
+.PHONY: build test lint fmt vet calculonvet staticcheck race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint is the consolidated gate: formatting, go vet, the repo's own
+# invariant analyzers (see docs/LINT.md), and staticcheck when installed.
+lint: fmt vet calculonvet staticcheck
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "unformatted files:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# calculonvet proves the model's determinism, cancellation, counter, and
+# error-handling invariants at compile time (internal/lint).
+calculonvet:
+	$(GO) run ./cmd/calculonvet ./...
+
+# staticcheck is optional tooling: the gate passes without it installed so
+# offline checkouts and minimal CI images stay green.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+race:
+	$(GO) test -race -short ./internal/search/... ./internal/perf/... ./internal/execution/... ./internal/experiments/...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkExecutionSearch|BenchmarkSystemSizeSweep' -benchtime 1x ./internal/search
