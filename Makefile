@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint fmt vet calculonvet staticcheck race bench
+.PHONY: build test lint fmt vet calculonvet staticcheck race bench e2e
 
 build:
 	$(GO) build ./...
@@ -41,7 +41,12 @@ staticcheck:
 	fi
 
 race:
-	$(GO) test -race -short ./internal/search/... ./internal/perf/... ./internal/execution/... ./internal/experiments/...
+	$(GO) test -race -short ./internal/search/... ./internal/perf/... ./internal/execution/... ./internal/experiments/... ./internal/service/...
+
+# e2e boots a real calculond and drives the full job lifecycle over HTTP
+# (CI's service-e2e job).
+e2e:
+	$(GO) test -tags e2e -run TestCalculondE2E -v ./cmd/calculond
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExecutionSearch|BenchmarkSystemSizeSweep' -benchtime 1x ./internal/search

@@ -1,0 +1,217 @@
+//go:build e2e
+
+// End-to-end smoke test for the daemon: build the real binary, boot it on
+// an ephemeral port, and drive the full job lifecycle over actual HTTP —
+// submit → poll → result → cancel → SIGTERM drain — failing on a nonzero
+// exit or a process that outlives its drain window. CI's service-e2e job
+// runs exactly this via `go test -tags e2e`.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const smallJob = `{"model":{"preset":"gpt3-13B","batch":8},"system":{"preset":"a100-80g","procs":8},"search":{"top_k":3}}`
+const bigJob = `{"model":{"preset":"gpt3-175B","batch":3072},"system":{"preset":"a100-80g","procs":4096},"search":{}}`
+
+type status struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Workers  int    `json:"workers"`
+	Error    string `json:"error"`
+	Progress struct {
+		Evaluated int64 `json:"evaluated"`
+		Total     int64 `json:"total"`
+	} `json:"progress"`
+}
+
+type result struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Found bool   `json:"found"`
+	Best  *struct {
+		SampleRate float64 `json:"sample_rate"`
+	} `json:"best"`
+}
+
+func TestCalculondE2E(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "calculond")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	daemon := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-workers", "4",
+		"-max-running", "2",
+		"-queue-depth", "8",
+		"-rate", "0", // the smoke client polls hard; limiting is unit-tested
+		"-drain-timeout", "20s")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	daemon.Stderr = &stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Whatever happens below, the daemon must not outlive the test.
+	exited := false
+	defer func() {
+		if !exited {
+			daemon.Process.Kill()
+			daemon.Wait()
+			t.Errorf("daemon had to be killed; stderr:\n%s", stderr.String())
+		}
+	}()
+
+	// The bound address is the first stdout line.
+	scanner := bufio.NewScanner(stdout)
+	if !scanner.Scan() {
+		t.Fatalf("no startup line; stderr:\n%s", stderr.String())
+	}
+	line := scanner.Text()
+	idx := strings.LastIndex(line, "listening on ")
+	if idx < 0 {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(line[idx+len("listening on "):])
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	call := func(method, path, body string, out any) int {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v\ndaemon stderr:\n%s", method, path, err, stderr.String())
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil && len(data) > 0 {
+			if err := json.Unmarshal(data, out); err != nil {
+				t.Fatalf("%s %s: bad JSON %q: %v", method, path, data, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	waitFor := func(id, want string, needProgress bool) status {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			var st status
+			if code := call("GET", "/v1/jobs/"+id, "", &st); code != http.StatusOK {
+				t.Fatalf("status %s: HTTP %d", id, code)
+			}
+			if st.State == want && (!needProgress || st.Progress.Evaluated > 0) {
+				return st
+			}
+			if st.State != want && st.State != "queued" && st.State != "running" {
+				t.Fatalf("job %s reached %s (err %q), want %s", id, st.State, st.Error, want)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("job %s never reached %s", id, want)
+		return status{}
+	}
+
+	// Healthy on boot.
+	if code := call("GET", "/healthz", "", nil); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+
+	// Submit a small job and follow it to a served result.
+	var small status
+	if code := call("POST", "/v1/jobs", smallJob, &small); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitFor(small.ID, "done", true)
+	var res result
+	if code := call("GET", "/v1/jobs/"+small.ID+"/result", "", &res); code != http.StatusOK {
+		t.Fatalf("result: %d", code)
+	}
+	if !res.Found || res.Best == nil || res.Best.SampleRate <= 0 {
+		t.Fatalf("result carries no best configuration: %+v", res)
+	}
+
+	// Submit a ~10M-strategy job, catch it mid-flight, cancel it.
+	var big status
+	if code := call("POST", "/v1/jobs", bigJob, &big); code != http.StatusAccepted {
+		t.Fatalf("submit big: %d", code)
+	}
+	waitFor(big.ID, "running", true)
+	if code := call("DELETE", "/v1/jobs/"+big.ID, "", nil); code != http.StatusOK {
+		t.Fatalf("cancel: %d", code)
+	}
+	cancelled := waitFor(big.ID, "cancelled", false)
+	if cancelled.Progress.Total > 0 && cancelled.Progress.Evaluated >= cancelled.Progress.Total {
+		t.Fatalf("cancelled job ran to completion: %+v", cancelled.Progress)
+	}
+
+	// Metrics reflect the lifecycle.
+	metricsReq, _ := http.NewRequest("GET", base+"/metrics", nil)
+	metricsResp, err := client.Do(metricsReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(metricsResp.Body)
+	metricsResp.Body.Close()
+	for _, want := range []string{
+		"calculond_jobs_done_total 1",
+		"calculond_jobs_cancelled_total 1",
+		"calculond_workers_total 4",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+
+	// SIGTERM with a job running: the daemon must drain (cancelling the
+	// job) and exit 0 within the drain window — a hung or leaked process
+	// fails here.
+	var last status
+	if code := call("POST", "/v1/jobs", bigJob, &last); code != http.StatusAccepted {
+		t.Fatalf("submit pre-drain: %d", code)
+	}
+	waitFor(last.ID, "running", true)
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- daemon.Wait() }()
+	select {
+	case err := <-waited:
+		exited = true
+		if err != nil {
+			t.Fatalf("drain exited nonzero: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(40 * time.Second):
+		t.Fatalf("daemon still alive 40s after SIGTERM (leaked process)\nstderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Errorf("stderr missing drain confirmation:\n%s", stderr.String())
+	}
+	fmt.Println("e2e lifecycle complete: submit, poll, result, cancel, drain")
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// TestRunUsageExitCodes pins the daemon to the CLI's exit-code convention:
+// 0 success (here: -h), 2 usage.
+func TestRunUsageExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"help", []string{"-h"}, 0},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2},
+		{"bad flag value", []string{"-workers", "zebra"}, 2},
+		{"stray argument", []string{"serve"}, 2},
+	}
+	for _, tc := range cases {
+		if got := run(tc.args); got != tc.want {
+			t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
+		}
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	if got := run([]string{"-addr", "256.256.256.256:1"}); got != 1 {
+		t.Errorf("run with unlistenable addr = %d, want 1", got)
+	}
+}

@@ -33,6 +33,27 @@ type Progress struct {
 	// startNano is the time the first search attached, in nanoseconds since
 	// the Unix epoch; zero means not started.
 	startNano atomic.Int64
+	// mirror, when non-nil, receives a copy of every counter delta and total
+	// this Progress records (see MirrorTo). Read on the flush path, so it
+	// rides in an atomic pointer like every other field.
+	mirror atomic.Pointer[Progress]
+}
+
+// MirrorTo subscribes agg to this Progress: every counter delta and total
+// recorded here is also recorded on agg, so one aggregate Progress can give
+// a fleet-wide view over many independent per-job Progresses without the
+// jobs sharing one (which would blur their individual snapshots). A service
+// wires each job's Progress to one aggregate and exposes both: per-job
+// status from the job's own Snapshot, totals from the aggregate's.
+//
+// MirrorTo marks agg started (so its rate is measured from subscription
+// time), may be called before the search attaches, and must not form a
+// cycle. Passing nil unsubscribes.
+func (p *Progress) MirrorTo(agg *Progress) {
+	if agg != nil {
+		agg.markStart()
+	}
+	p.mirror.Store(agg)
 }
 
 // markStart records the wall-clock start on first attachment.
@@ -66,12 +87,20 @@ func (p *Progress) add(d progressDelta) {
 	if d.subtreePruned != 0 {
 		p.subtreePruned.Add(d.subtreePruned)
 	}
+	if m := p.mirror.Load(); m != nil {
+		m.add(d)
+	}
 }
 
 // AddTotal grows the expected-strategy total (used for ETA). Searches add
 // their own space size when Options.EstimateTotal is set; callers that know
 // the size in advance may add it themselves instead.
-func (p *Progress) AddTotal(n int64) { p.total.Add(n) }
+func (p *Progress) AddTotal(n int64) {
+	p.total.Add(n)
+	if m := p.mirror.Load(); m != nil {
+		m.AddTotal(n)
+	}
+}
 
 // Snapshot captures the counters at one instant and derives throughput and
 // an ETA. It is safe to call concurrently with the search.

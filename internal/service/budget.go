@@ -1,0 +1,77 @@
+package service
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Budget partitions one global worker budget across concurrently running
+// jobs. The daemon is handed -workers goroutines' worth of search capacity;
+// no matter how many jobs run at once, their search.Options.Workers must
+// never sum past that, or a loaded daemon oversubscribes the host exactly
+// when it can least afford to.
+//
+// The partition is computed once, at construction: the budget is cut into
+// slots disjoint shares — total/slots each, the remainder spread one extra
+// to the first total%slots slots — and a job must hold a slot to run. Slots
+// travel through a channel, so Acquire doubles as the running-job limit:
+// when all slots are held, the scheduler parks until a job finishes.
+// Disjointness is what makes the aggregate bound unconditional; there is no
+// accounting to race on. Slot count is clamped to the budget so every slot
+// carries at least one worker (a zero-worker share would fall through to
+// GOMAXPROCS inside the search — the exact oversubscription this type
+// exists to prevent).
+type Budget struct {
+	total  int
+	shares chan int
+}
+
+// NewBudget cuts a budget of total workers (0 or less means GOMAXPROCS)
+// into at most slots concurrent shares (clamped to [1, total]).
+func NewBudget(total, slots int) *Budget {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > total {
+		slots = total
+	}
+	b := &Budget{total: total, shares: make(chan int, slots)}
+	base, extra := total/slots, total%slots
+	for i := 0; i < slots; i++ {
+		share := base
+		if i < extra {
+			share++
+		}
+		b.shares <- share
+	}
+	return b
+}
+
+// Acquire blocks until a slot is free (or ctx is cancelled) and returns the
+// slot's worker share plus a release function. Release is idempotent and
+// must be called exactly when the job's workers have stopped; until then the
+// share stays subtracted from the budget.
+func (b *Budget) Acquire(ctx context.Context) (workers int, release func(), err error) {
+	select {
+	case share := <-b.shares:
+		var once sync.Once
+		return share, func() {
+			once.Do(func() { b.shares <- share })
+		}, nil
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	}
+}
+
+// Total is the global worker budget.
+func (b *Budget) Total() int { return b.total }
+
+// Slots is the running-job limit the partition supports.
+func (b *Budget) Slots() int { return cap(b.shares) }
+
+// Free is the number of currently unheld slots.
+func (b *Budget) Free() int { return len(b.shares) }

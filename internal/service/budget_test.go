@@ -1,0 +1,111 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestBudgetPartitionNeverExceedsTotal is the acceptance proof for the
+// worker budget: however the daemon is sized, the shares handed to
+// concurrently running jobs sum to exactly the global budget — never past
+// it — and every share can actually run (≥ 1 worker).
+func TestBudgetPartitionNeverExceedsTotal(t *testing.T) {
+	ctx := context.Background()
+	for total := 1; total <= 33; total++ {
+		for slots := 1; slots <= 9; slots++ {
+			b := NewBudget(total, slots)
+			wantSlots := slots
+			if wantSlots > total {
+				wantSlots = total
+			}
+			if b.Slots() != wantSlots {
+				t.Fatalf("NewBudget(%d, %d).Slots() = %d, want %d", total, slots, b.Slots(), wantSlots)
+			}
+			sum := 0
+			for i := 0; i < b.Slots(); i++ {
+				w, release, err := b.Acquire(ctx)
+				if err != nil {
+					t.Fatalf("Acquire(%d, %d) slot %d: %v", total, slots, i, err)
+				}
+				defer release()
+				if w < 1 {
+					t.Fatalf("NewBudget(%d, %d): slot %d carries %d workers", total, slots, i, w)
+				}
+				sum += w
+			}
+			if sum != total {
+				t.Fatalf("NewBudget(%d, %d): shares sum to %d, want exactly %d", total, slots, sum, total)
+			}
+			if b.Free() != 0 {
+				t.Fatalf("NewBudget(%d, %d): %d slots free after acquiring all", total, slots, b.Free())
+			}
+		}
+	}
+}
+
+// TestBudgetTwoConcurrentJobs pins the ISSUE's concrete scenario: two jobs
+// on a -workers N daemon hold at most N workers in aggregate, for every N.
+func TestBudgetTwoConcurrentJobs(t *testing.T) {
+	ctx := context.Background()
+	for n := 1; n <= 16; n++ {
+		b := NewBudget(n, 2)
+		w1, rel1, err := b.Acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := w1
+		if b.Free() > 0 {
+			w2, rel2, err := b.Acquire(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg += w2
+			rel2()
+		}
+		if agg > n {
+			t.Fatalf("workers=%d: two concurrent jobs hold %d workers", n, agg)
+		}
+		rel1()
+	}
+}
+
+func TestBudgetAcquireBlocksAndCancels(t *testing.T) {
+	b := NewBudget(4, 1)
+	_, release, err := b.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := b.Acquire(ctx); err == nil {
+		t.Fatal("Acquire succeeded with no free slot and a cancelled ctx")
+	}
+	// Release is idempotent: double-release must not mint a second slot.
+	release()
+	release()
+	if b.Free() != 1 {
+		t.Fatalf("Free() = %d after double release, want 1", b.Free())
+	}
+}
+
+func TestBudgetConcurrentAcquireRelease(t *testing.T) {
+	b := NewBudget(8, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, release, err := b.Acquire(context.Background())
+			if err != nil || w < 1 {
+				t.Errorf("Acquire: w=%d err=%v", w, err)
+				return
+			}
+			release()
+		}()
+	}
+	wg.Wait()
+	if b.Free() != b.Slots() {
+		t.Fatalf("Free() = %d after all releases, want %d", b.Free(), b.Slots())
+	}
+}

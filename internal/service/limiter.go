@@ -1,0 +1,88 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a per-client token bucket: each client (keyed on remote
+// address) accrues rate tokens per second up to burst, and every allowed
+// request spends one. A tight poll loop from one client therefore degrades
+// into 429s for that client alone; everyone else's buckets are untouched.
+//
+// State is a map guarded by a mutex — the check is a handful of float ops,
+// far off any hot path. Fully refilled buckets are pruned opportunistically
+// once the map grows past pruneAbove, so an address-churning client cannot
+// grow it without bound.
+type Limiter struct {
+	rate  float64 // tokens per second; 0 or less disables the limiter
+	burst float64
+	now   func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// pruneAbove is the client count past which Allow sweeps out full buckets.
+const pruneAbove = 4096
+
+// NewLimiter builds a limiter granting rate requests per second with the
+// given burst (clamped to at least 1). A rate of 0 or less disables
+// limiting: Allow always returns true.
+func NewLimiter(rate float64, burst int) *Limiter {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   b,
+		now:     time.Now,
+		clients: make(map[string]*bucket),
+	}
+}
+
+// Allow reports whether the client may proceed, spending one token if so.
+func (l *Limiter) Allow(client string) bool {
+	if l.rate <= 0 {
+		return true
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk, ok := l.clients[client]
+	if !ok {
+		if len(l.clients) > pruneAbove {
+			l.prune(now)
+		}
+		bk = &bucket{tokens: l.burst, last: now}
+		l.clients[client] = bk
+	} else {
+		bk.tokens += now.Sub(bk.last).Seconds() * l.rate
+		if bk.tokens > l.burst {
+			bk.tokens = l.burst
+		}
+		bk.last = now
+	}
+	if bk.tokens < 1 {
+		return false
+	}
+	bk.tokens--
+	return true
+}
+
+// prune drops clients whose buckets would be full again — they carry no
+// information a fresh bucket wouldn't. Caller holds mu. Map order does not
+// matter: every full bucket is deleted regardless of visit order.
+func (l *Limiter) prune(now time.Time) {
+	for client, bk := range l.clients {
+		if bk.tokens+now.Sub(bk.last).Seconds()*l.rate >= l.burst {
+			delete(l.clients, client)
+		}
+	}
+}

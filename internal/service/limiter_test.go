@@ -1,0 +1,93 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock makes token refill deterministic.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLimiter(rate float64, burst int) (*Limiter, *fakeClock) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	l := NewLimiter(rate, burst)
+	l.now = clock.now
+	return l, clock
+}
+
+func TestLimiterBurstThenDeny(t *testing.T) {
+	l, _ := newTestLimiter(1, 3)
+	for i := 0; i < 3; i++ {
+		if !l.Allow("1.2.3.4") {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	if l.Allow("1.2.3.4") {
+		t.Fatal("request past burst allowed")
+	}
+}
+
+func TestLimiterRefill(t *testing.T) {
+	l, clock := newTestLimiter(2, 2) // 2 req/s, burst 2
+	if !l.Allow("c") || !l.Allow("c") {
+		t.Fatal("burst denied")
+	}
+	if l.Allow("c") {
+		t.Fatal("empty bucket allowed")
+	}
+	clock.advance(500 * time.Millisecond) // refills one token at 2/s
+	if !l.Allow("c") {
+		t.Fatal("refilled token denied")
+	}
+	if l.Allow("c") {
+		t.Fatal("second request after half-second refill allowed")
+	}
+	// Refill caps at burst no matter how long the client is idle.
+	clock.advance(time.Hour)
+	if !l.Allow("c") || !l.Allow("c") {
+		t.Fatal("burst after idle denied")
+	}
+	if l.Allow("c") {
+		t.Fatal("idle refill exceeded burst")
+	}
+}
+
+func TestLimiterClientsAreIndependent(t *testing.T) {
+	l, _ := newTestLimiter(1, 1)
+	if !l.Allow("a") {
+		t.Fatal("client a denied its burst")
+	}
+	if l.Allow("a") {
+		t.Fatal("client a allowed past burst")
+	}
+	if !l.Allow("b") {
+		t.Fatal("client b throttled by client a's spending")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l, _ := newTestLimiter(0, 1)
+	for i := 0; i < 100; i++ {
+		if !l.Allow("c") {
+			t.Fatal("disabled limiter denied a request")
+		}
+	}
+}
+
+func TestLimiterPrune(t *testing.T) {
+	l, clock := newTestLimiter(1000, 1)
+	for i := 0; i < pruneAbove+2; i++ {
+		l.Allow(time.Duration(i).String())
+	}
+	if len(l.clients) <= pruneAbove {
+		t.Fatalf("precondition: want > %d clients, have %d", pruneAbove, len(l.clients))
+	}
+	clock.advance(time.Minute) // every bucket fully refills
+	l.Allow("fresh")
+	if len(l.clients) > 2 {
+		t.Fatalf("prune kept %d clients, want the fresh one (plus at most the trigger)", len(l.clients))
+	}
+}

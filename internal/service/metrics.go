@@ -1,0 +1,60 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"calculon/internal/search"
+)
+
+// Metrics is the daemon's counter set, exposed as text on GET /metrics.
+// Every field is bumped by job goroutines and HTTP handlers while the
+// metrics handler reads concurrently, so access is sync/atomic only —
+// calculonvet's atomiccounter analyzer enforces it, the same contract as
+// search.Progress. Strategy-level counters (evaluated, feasible,
+// pre-screened, subtree-pruned, cache hits) are not duplicated here: every
+// job's Progress mirrors into one fleet-wide search.Progress whose snapshot
+// the exposition reads.
+//
+//calculonvet:counter
+type Metrics struct {
+	// Totals over the daemon's lifetime.
+	submitted   atomic.Int64
+	rejected    atomic.Int64 // queue-full and draining refusals
+	ratelimited atomic.Int64 // 429s issued
+	done        atomic.Int64
+	failed      atomic.Int64
+	cancelled   atomic.Int64
+	// Gauges for the two live states.
+	queued  atomic.Int64
+	running atomic.Int64
+}
+
+// write renders one metric line pair (HELP omitted; TYPE kept so scrapers
+// classify counters vs gauges).
+func write(w io.Writer, name, typ string, v int64) {
+	fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, v)
+}
+
+// Expose writes the Prometheus-style text exposition: job lifecycle
+// counters and gauges, the budget's shape, and the fleet-wide strategy
+// counters aggregated across every job the daemon has run.
+func (m *Metrics) Expose(w io.Writer, fleet search.ProgressSnapshot, budget *Budget) {
+	write(w, "calculond_jobs_submitted_total", "counter", m.submitted.Load())
+	write(w, "calculond_jobs_rejected_total", "counter", m.rejected.Load())
+	write(w, "calculond_requests_ratelimited_total", "counter", m.ratelimited.Load())
+	write(w, "calculond_jobs_done_total", "counter", m.done.Load())
+	write(w, "calculond_jobs_failed_total", "counter", m.failed.Load())
+	write(w, "calculond_jobs_cancelled_total", "counter", m.cancelled.Load())
+	write(w, "calculond_jobs_queued", "gauge", m.queued.Load())
+	write(w, "calculond_jobs_running", "gauge", m.running.Load())
+	write(w, "calculond_workers_total", "gauge", int64(budget.Total()))
+	write(w, "calculond_job_slots_total", "gauge", int64(budget.Slots()))
+	write(w, "calculond_job_slots_free", "gauge", int64(budget.Free()))
+	write(w, "calculond_strategies_evaluated_total", "counter", fleet.Evaluated)
+	write(w, "calculond_strategies_feasible_total", "counter", fleet.Feasible)
+	write(w, "calculond_strategies_prescreened_total", "counter", fleet.PreScreened)
+	write(w, "calculond_strategies_subtree_pruned_total", "counter", fleet.SubtreePruned)
+	write(w, "calculond_strategy_cache_hits_total", "counter", fleet.CacheHits)
+}

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestQueueFIFOOrder(t *testing.T) {
+	q := newQueue(8)
+	for i := 0; i < 5; i++ {
+		if err := q.Push(&Job{ID: fmt.Sprintf("job-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		j, err := q.Pop(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("job-%d", i); j.ID != want {
+			t.Fatalf("popped %s, want %s (FIFO violated)", j.ID, want)
+		}
+	}
+}
+
+func TestQueueBoundedRejection(t *testing.T) {
+	q := newQueue(2)
+	if err := q.Push(&Job{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(&Job{ID: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(&Job{ID: "c"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push past capacity: err = %v, want ErrQueueFull", err)
+	}
+	// Popping frees capacity again.
+	if _, err := q.Pop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(&Job{ID: "c"}); err != nil {
+		t.Fatalf("push after pop: %v", err)
+	}
+}
+
+func TestQueuePopHonorsContext(t *testing.T) {
+	q := newQueue(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := q.Pop(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Pop on empty queue: err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestQueueTryPop(t *testing.T) {
+	q := newQueue(1)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue returned a job")
+	}
+	if err := q.Push(&Job{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := q.TryPop()
+	if !ok || j.ID != "a" {
+		t.Fatalf("TryPop = (%v, %v), want job a", j, ok)
+	}
+}

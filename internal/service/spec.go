@@ -1,0 +1,102 @@
+// Package service is the long-running face of the search engines: calculond
+// wraps it around an HTTP listener. Clients POST a job spec (model + system
+// + search options), get a job ID back, and poll status — live
+// evaluated/feasible/pre-screened/subtree-pruned counters with an ETA,
+// straight from the search's Progress attachment — until the result is
+// ready. The pieces compose the repo's existing invariants: a bounded FIFO
+// queue feeds a scheduler that partitions one global worker budget across
+// concurrently running jobs (never oversubscribing it), every job runs under
+// a cancellable context (DELETE cancels, drain cancels, a job timeout
+// cancels), per-client rate limiting keeps one poller from starving the
+// rest, and all cross-goroutine counters are sync/atomic only.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"calculon/internal/config"
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/search"
+	"calculon/internal/system"
+)
+
+// SearchSpec is the client-facing subset of search.Options: what to search,
+// not how to schedule it (workers come from the daemon's budget, progress
+// attachment from the job machinery).
+type SearchSpec struct {
+	// Features selects the optimization family: baseline|seqpar|all
+	// (default all).
+	Features string `json:"features,omitempty"`
+	// MaxInterleave caps the pipeline-interleave factor (0 = unlimited).
+	MaxInterleave int `json:"max_interleave,omitempty"`
+	// TopK retains the best K configurations in the result (default 1).
+	TopK int `json:"top_k,omitempty"`
+	// Pareto retains the time-vs-memory Pareto front in the result.
+	Pareto bool `json:"pareto,omitempty"`
+	// TimeoutSeconds bounds the job's wall-clock run; 0 means no limit.
+	// A timed-out job fails with a deadline error and partial counters.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// JobSpec is the body of POST /v1/jobs: the same model/system references the
+// CLI's scenario files use, plus the search options.
+type JobSpec struct {
+	Model  config.ModelRef  `json:"model"`
+	System config.SystemRef `json:"system"`
+	Search SearchSpec       `json:"search"`
+}
+
+// prepared is a resolved, validated job spec ready to run.
+type prepared struct {
+	m       model.LLM
+	sys     system.System
+	opts    search.Options
+	timeout time.Duration
+}
+
+// prepare resolves the references and validates everything client-supplied,
+// so a bad spec is rejected at submit time (400) rather than failing the job
+// after it queued.
+func (s JobSpec) prepare() (prepared, error) {
+	var p prepared
+	var err error
+	if p.m, err = s.Model.Resolve(); err != nil {
+		return p, err
+	}
+	if p.sys, err = s.System.Resolve(); err != nil {
+		return p, err
+	}
+	features := execution.FeatureSet(s.Search.Features)
+	if features == "" {
+		features = execution.FeatureAll
+	}
+	if !features.Valid() {
+		return p, fmt.Errorf("service: unknown feature set %q (want baseline|seqpar|all)", s.Search.Features)
+	}
+	if s.Search.MaxInterleave < 0 {
+		return p, fmt.Errorf("service: negative max_interleave %d", s.Search.MaxInterleave)
+	}
+	if s.Search.TimeoutSeconds < 0 {
+		return p, fmt.Errorf("service: negative timeout_seconds %g", s.Search.TimeoutSeconds)
+	}
+	topK := s.Search.TopK
+	switch {
+	case topK < 0:
+		return p, fmt.Errorf("service: negative top_k %d", topK)
+	case topK == 0:
+		topK = 1
+	}
+	p.opts = search.Options{
+		Enum: execution.EnumOptions{
+			Features:      features,
+			MaxInterleave: s.Search.MaxInterleave,
+		},
+		TopK:          topK,
+		Pareto:        s.Search.Pareto,
+		EstimateTotal: true,
+	}
+	p.timeout = time.Duration(s.Search.TimeoutSeconds * float64(time.Second))
+	return p, nil
+}
