@@ -41,7 +41,7 @@ staticcheck:
 	fi
 
 race:
-	$(GO) test -race -short ./internal/search/... ./internal/perf/... ./internal/execution/... ./internal/experiments/... ./internal/service/...
+	$(GO) test -race -short ./internal/search/... ./internal/perf/... ./internal/execution/... ./internal/experiments/... ./internal/service/... ./internal/resultstore/...
 
 # e2e boots a real calculond and drives the full job lifecycle over HTTP
 # (CI's service-e2e job).
@@ -50,3 +50,4 @@ e2e:
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExecutionSearch|BenchmarkSystemSizeSweep' -benchtime 1x ./internal/search
+	$(GO) test -run '^$$' -bench BenchmarkSearchWarmStore -benchtime 100x ./internal/resultstore

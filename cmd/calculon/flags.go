@@ -10,6 +10,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"calculon/internal/resultstore"
 	"calculon/internal/search"
 	"calculon/internal/units"
 )
@@ -29,6 +30,7 @@ type runtimeFlags struct {
 	pprofAddr  string
 	cpuprofile string
 	workers    int
+	store      string
 }
 
 // addRuntime registers the runtime flags on a subcommand's FlagSet.
@@ -39,7 +41,28 @@ func addRuntime(fs *flag.FlagSet) *runtimeFlags {
 	fs.StringVar(&r.pprofAddr, "pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 	fs.StringVar(&r.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.IntVar(&r.workers, "workers", 0, "total worker budget for searches and sweeps (0 = GOMAXPROCS)")
+	fs.StringVar(&r.store, "store", "", "persistent result store (JSONL): searches consult it before evaluating and append fresh verdicts (empty disables)")
 	return r
+}
+
+// openStore opens the persistent result store named by -store and wires it
+// into the search options. The returned close function flushes the pending
+// batch; its error must reach the user — a verdict that never hit disk is a
+// cache that silently re-pays the walk next run.
+func (r *runtimeFlags) openStore(opts *search.Options) (func() error, error) {
+	if r.store == "" {
+		return func() error { return nil }, nil
+	}
+	st, err := resultstore.Open(r.store)
+	if err != nil {
+		return nil, err
+	}
+	if s := st.Stats(); s.Stale > 0 || s.RecoveredBytes > 0 {
+		fmt.Fprintf(os.Stderr, "calculon: store %s: %d rows (%d stale, recovered from %d truncated bytes)\n",
+			r.store, s.Rows, s.Stale, s.RecoveredBytes)
+	}
+	opts.Cache = st
+	return st.Close, nil
 }
 
 // apply derives the command's context from the timeout and starts the

@@ -250,7 +250,7 @@ func cmdRun(args []string) error {
 	return nil
 }
 
-func cmdSearch(ctx context.Context, args []string) error {
+func cmdSearch(ctx context.Context, args []string) (retErr error) {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	c := addCommon(fs)
 	rt := addRuntime(fs)
@@ -282,6 +282,17 @@ func cmdSearch(ctx context.Context, args []string) error {
 		CollectRates: *hist,
 		Pareto:       *pareto,
 	}
+	closeStore, err := rt.openStore(&opts)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// A flush failure means fresh verdicts never became durable; the
+		// search output above is still valid, but the exit code must say so.
+		if cerr := closeStore(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 	var prog search.Progress
 	rt.attachProgress(&opts, &prog)
 	res, err := search.Execution(ctx, m, sys, opts)
@@ -293,6 +304,9 @@ func cmdSearch(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("evaluated %d strategies, %d feasible (%d pre-screened, %d subtree-pruned, %d cache hits)\n",
 		res.Evaluated, res.Feasible, res.PreScreened, res.SubtreePruned, res.CacheHits)
+	if prog.Snapshot().StoreHits > 0 {
+		fmt.Printf("verdict served from result store %s — nothing re-evaluated\n", rt.store)
+	}
 	if !res.Found() {
 		fmt.Println("no feasible configuration")
 		return nil

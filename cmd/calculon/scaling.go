@@ -13,7 +13,7 @@ import (
 	"calculon/internal/system"
 )
 
-func cmdScaling(ctx context.Context, args []string) error {
+func cmdScaling(ctx context.Context, args []string) (retErr error) {
 	fs := flag.NewFlagSet("scaling", flag.ExitOnError)
 	c := addCommon(fs)
 	rt := addRuntime(fs)
@@ -45,6 +45,15 @@ func cmdScaling(ctx context.Context, args []string) error {
 			MaxInterleave: *maxIl,
 		},
 	}
+	closeStore, err := rt.openStore(&opts)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeStore(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 	var prog search.Progress
 	rt.attachProgress(&opts, &prog)
 	pts, err := search.SystemSize(ctx, m, func(n int) system.System { return tmpl.WithProcs(n) },
@@ -58,6 +67,9 @@ func cmdScaling(ctx context.Context, args []string) error {
 	snap := prog.Snapshot()
 	fmt.Printf("swept %d sizes: evaluated %d strategies (%d pre-screened, %d subtree-pruned, %d cache hits)\n",
 		len(pts), snap.Evaluated, snap.PreScreened, snap.SubtreePruned, snap.CacheHits)
+	if snap.StoreHits > 0 {
+		fmt.Printf("%d of %d sizes served from result store %s\n", snap.StoreHits, len(pts), rt.store)
+	}
 	if *asCSV {
 		rows := [][]string{{"gpus", "feasible", "sample_rate", "mfu", "strategy"}}
 		for _, p := range pts {

@@ -20,6 +20,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"calculon/internal/resultstore"
 )
 
 const smallJob = `{"model":{"preset":"gpt3-13B","batch":8},"system":{"preset":"a100-80g","procs":8},"search":{"top_k":3}}`
@@ -32,6 +34,7 @@ type status struct {
 	Error    string `json:"error"`
 	Progress struct {
 		Evaluated int64 `json:"evaluated"`
+		StoreHits int64 `json:"store_hits"`
 		Total     int64 `json:"total"`
 	} `json:"progress"`
 }
@@ -51,13 +54,15 @@ func TestCalculondE2E(t *testing.T) {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
 
+	storePath := filepath.Join(t.TempDir(), "results.jsonl")
 	daemon := exec.Command(bin,
 		"-addr", "127.0.0.1:0",
 		"-workers", "4",
 		"-max-running", "2",
 		"-queue-depth", "8",
 		"-rate", "0", // the smoke client polls hard; limiting is unit-tested
-		"-drain-timeout", "20s")
+		"-drain-timeout", "20s",
+		"-store", storePath)
 	stdout, err := daemon.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -156,6 +161,25 @@ func TestCalculondE2E(t *testing.T) {
 		t.Fatalf("result carries no best configuration: %+v", res)
 	}
 
+	// The identical spec again: the daemon's result store must serve the
+	// verdict without evaluating anything, and the numbers must match the
+	// live run exactly.
+	var rerun status
+	if code := call("POST", "/v1/jobs", smallJob, &rerun); code != http.StatusAccepted {
+		t.Fatalf("resubmit: %d", code)
+	}
+	cached := waitFor(rerun.ID, "done", false)
+	if cached.Progress.Evaluated != 0 || cached.Progress.StoreHits != 1 {
+		t.Fatalf("rerun progress = %+v, want a pure store hit (0 evaluated)", cached.Progress)
+	}
+	var cachedRes result
+	if code := call("GET", "/v1/jobs/"+rerun.ID+"/result", "", &cachedRes); code != http.StatusOK {
+		t.Fatalf("cached result: %d", code)
+	}
+	if !cachedRes.Found || cachedRes.Best == nil || cachedRes.Best.SampleRate != res.Best.SampleRate {
+		t.Fatalf("cached result diverges from the live run: %+v vs %+v", cachedRes, res)
+	}
+
 	// Submit a ~10M-strategy job, catch it mid-flight, cancel it.
 	var big status
 	if code := call("POST", "/v1/jobs", bigJob, &big); code != http.StatusAccepted {
@@ -179,9 +203,15 @@ func TestCalculondE2E(t *testing.T) {
 	metricsBody, _ := io.ReadAll(metricsResp.Body)
 	metricsResp.Body.Close()
 	for _, want := range []string{
-		"calculond_jobs_done_total 1",
+		"calculond_jobs_done_total 2",
 		"calculond_jobs_cancelled_total 1",
 		"calculond_workers_total 4",
+		"calculond_searches_from_store_total 1",
+		"calculond_store_rows 1",
+		"calculond_store_hits_total 1",
+		// Two misses by scrape time: the live small job and the (cancelled,
+		// never stored) big job each looked up once; the rerun was a hit.
+		"calculond_store_misses_total 2",
 	} {
 		if !strings.Contains(string(metricsBody), want) {
 			t.Errorf("metrics missing %q:\n%s", want, metricsBody)
@@ -213,5 +243,21 @@ func TestCalculondE2E(t *testing.T) {
 	if !strings.Contains(stderr.String(), "drained") {
 		t.Errorf("stderr missing drain confirmation:\n%s", stderr.String())
 	}
-	fmt.Println("e2e lifecycle complete: submit, poll, result, cancel, drain")
+
+	// The drain flushed the store: reopening it must find whole committed
+	// rows only — no truncated tail, nothing recovered, nothing stale. The
+	// small job contributes one row; the pre-drain big job contributes a
+	// second only if it finished inside the drain window (the DELETE-
+	// cancelled job never stores), so the count is 1 or 2.
+	st, err := resultstore.Open(storePath)
+	if err != nil {
+		t.Fatalf("reopening the store after drain: %v", err)
+	}
+	defer st.Close()
+	stats := st.Stats()
+	if stats.Rows < 1 || stats.Rows > 2 || stats.Loaded != stats.Rows ||
+		stats.RecoveredBytes != 0 || stats.Stale != 0 {
+		t.Errorf("post-drain store stats = %+v, want 1-2 whole rows and a clean tail", stats)
+	}
+	fmt.Println("e2e lifecycle complete: submit, poll, result, cached rerun, cancel, drain")
 }

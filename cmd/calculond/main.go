@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"calculon/internal/resultstore"
 	"calculon/internal/service"
 )
 
@@ -42,6 +43,7 @@ func run(args []string) int {
 	rate := fs.Float64("rate", 20, "per-client request rate limit in req/s over /v1 (0 disables)")
 	burst := fs.Int("burst", 40, "per-client burst allowance for the rate limit")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a drain lets running jobs finish before cancelling them")
+	storePath := fs.String("store", "", "persistent result store (JSONL): jobs consult it before searching and append fresh verdicts (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -54,9 +56,41 @@ func run(args []string) int {
 		return 2
 	}
 
+	var store *resultstore.Store
+	if *storePath != "" {
+		var err error
+		if store, err = resultstore.Open(*storePath); err != nil {
+			fmt.Fprintln(os.Stderr, "calculond:", err)
+			return 1
+		}
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "calculond: result store %s: %d rows", *storePath, st.Rows)
+		if st.Stale > 0 {
+			fmt.Fprintf(os.Stderr, ", %d stale (space version)", st.Stale)
+		}
+		if st.RecoveredBytes > 0 {
+			fmt.Fprintf(os.Stderr, ", recovered from %d truncated bytes", st.RecoveredBytes)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	// closeStore flushes the pending batch on every exit path; after a drain
+	// the jobs have unwound, so nothing appends concurrently and the file
+	// ends on a whole row.
+	closeStore := func() bool {
+		if store == nil {
+			return true
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "calculond:", err)
+			return false
+		}
+		return true
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calculond:", err)
+		closeStore()
 		return 1
 	}
 	svc := service.New(service.Config{
@@ -65,6 +99,7 @@ func run(args []string) int {
 		QueueDepth: *queueDepth,
 		Rate:       *rate,
 		Burst:      *burst,
+		Store:      store,
 	})
 	srv := &http.Server{
 		Handler:           svc.Handler(),
@@ -86,6 +121,7 @@ func run(args []string) int {
 		// The listener died under us (it is never closed on this path).
 		fmt.Fprintln(os.Stderr, "calculond:", err)
 		svc.Drain(context.Background())
+		closeStore()
 		return 1
 	case sig := <-sigCh:
 		fmt.Fprintf(os.Stderr, "calculond: %v — draining (timeout %v)\n", sig, *drainTimeout)
@@ -98,6 +134,9 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, "calculond: shutdown:", err)
 		}
 		svc.Drain(ctx)
+		if !closeStore() {
+			return 1
+		}
 		fmt.Fprintln(os.Stderr, "calculond: drained")
 		if sig == os.Interrupt {
 			return 130

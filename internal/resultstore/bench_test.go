@@ -1,0 +1,49 @@
+package resultstore
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/search"
+	"calculon/internal/system"
+)
+
+// BenchmarkSearchWarmStore measures the repeated-search path the store
+// exists for: the exact configuration of BenchmarkExecutionSearch, served
+// from a warm store instead of walked. The strategies/s metric counts the
+// served verdict's full space per wall-clock second, so the ratio to
+// BenchmarkExecutionSearch's metric is the store's effective-throughput
+// multiplier; allocs/op is the baselined number (key hash + index lookup +
+// defensive slice copies, no I/O).
+func BenchmarkSearchWarmStore(b *testing.B) {
+	m := model.MustPreset("gpt3-13B").WithBatch(64)
+	sys := system.A100(64)
+	opts := search.Options{Enum: execution.EnumOptions{Procs: 64, Features: execution.FeatureSeqPar, MaxInterleave: 2}}
+	st, err := Open(filepath.Join(b.TempDir(), "store.jsonl"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	opts.Cache = st
+	cold, err := search.Execution(context.Background(), m, sys, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var served int
+	for i := 0; i < b.N; i++ {
+		res, err := search.Execution(context.Background(), m, sys, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Evaluated != cold.Evaluated {
+			b.Fatalf("warm verdict diverged: %d evaluated, want %d", res.Evaluated, cold.Evaluated)
+		}
+		served += res.Evaluated
+	}
+	b.ReportMetric(float64(served)/b.Elapsed().Seconds(), "strategies/s")
+}

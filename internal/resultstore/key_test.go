@@ -1,0 +1,258 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"calculon/internal/config"
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/search"
+	"calculon/internal/system"
+	"calculon/internal/units"
+)
+
+// normalizedOpts builds search options exactly as search.Execution
+// normalizes them before consulting the cache: Procs defaulted from the
+// system, Features defaulted, HasMem2 derived. The key contract only holds
+// for normalized options, so every test goes through this.
+func normalizedOpts(sys system.System) search.Options {
+	return search.Options{
+		Enum: execution.EnumOptions{
+			Procs:    sys.Procs,
+			Features: execution.FeatureAll,
+			HasMem2:  sys.Mem2.Present(),
+		},
+		TopK: 1,
+	}
+}
+
+// TestKeyStableAcrossFieldOrder: the canonical hash must not depend on the
+// field order of the JSON files the inputs were loaded from. Two spellings
+// of the same model with fields in opposite orders must map to one key.
+func TestKeyStableAcrossFieldOrder(t *testing.T) {
+	spellings := []string{
+		`{"name":"tiny","hidden":1024,"attn_heads":16,"seq":2048,"blocks":24,"batch":512,"vocab":51200}`,
+		`{"vocab":51200,"batch":512,"blocks":24,"seq":2048,"attn_heads":16,"hidden":1024,"name":"tiny"}`,
+		"{\n  \"batch\": 512,\n  \"name\": \"tiny\",\n  \"seq\": 2048,\n  \"blocks\": 24,\n  \"vocab\": 51200,\n  \"hidden\": 1024,\n  \"attn_heads\": 16\n}",
+	}
+	sys := system.A100(64)
+	keys := make(map[string]bool)
+	for i, s := range spellings {
+		var m model.LLM
+		if err := json.Unmarshal([]byte(s), &m); err != nil {
+			t.Fatalf("spelling %d: %v", i, err)
+		}
+		k, err := Key(m, sys, normalizedOpts(sys))
+		if err != nil {
+			t.Fatalf("spelling %d: %v", i, err)
+		}
+		keys[k] = true
+	}
+	if len(keys) != 1 {
+		t.Fatalf("three spellings of one model produced %d distinct keys: %v", len(keys), keys)
+	}
+}
+
+// TestKeyStableAcrossMapIteration routes the system config through
+// map[string]any — whose iteration order Go randomizes per run — and back
+// before hashing, many times. encoding/json sorts map keys on marshal, so
+// every pass must land on the direct-decode key; a drift here would mean
+// the hash depends on an iteration order the runtime does not promise.
+func TestKeyStableAcrossMapIteration(t *testing.T) {
+	raw, err := json.Marshal(system.A100(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct system.System
+	if err := json.Unmarshal(raw, &direct); err != nil {
+		t.Fatal(err)
+	}
+	m := model.MustPreset("gpt3-13B")
+	want, err := Key(m, direct, normalizedOpts(direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		var loose map[string]any
+		if err := json.Unmarshal(raw, &loose); err != nil {
+			t.Fatal(err)
+		}
+		reencoded, err := json.Marshal(loose)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sys system.System
+		if err := json.Unmarshal(reencoded, &sys); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Key(m, sys, normalizedOpts(sys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("pass %d: key drifted after a map round-trip: %s != %s", i, got, want)
+		}
+	}
+}
+
+// TestKeyGoldenShippedConfigs pins the canonical hash of every shipped
+// model config against both shipped systems. These hex values are part of
+// the on-disk cache contract: a change here silently orphans every store
+// file in the field, so it must be a conscious decision (bump
+// StrategySpaceVersion) — not an accident of reordering a struct field,
+// renaming a JSON tag, or tweaking the encoder.
+func TestKeyGoldenShippedConfigs(t *testing.T) {
+	golden := map[string]string{
+		"chinchilla-70B/a100-80g":        "dd161b8008cb78965ab5c725df2a0b62b6231d704a990f3752e9efb41e603ad7",
+		"chinchilla-70B/h100-80g-ddr512": "eb47fc3b0608004077ae1fb967fd1303a63c14a94015104574fcbc084ce8c79d",
+		"gpt2-1.5B/a100-80g":             "4ed82206d149f2018488f8d2aba2e9d4d1eecb947abcc55a5e0bc36b717e03b1",
+		"gpt2-1.5B/h100-80g-ddr512":      "8489c9a8e46064b71edfd84ecdcbefbc1cb4f53ba731c106ebb4e8acae3c0102",
+		"gpt3-13B/a100-80g":              "460837c6b513704fc5b3c5b1d19eea085bfa7447615a9e0b8b8dc58fbccd6d95",
+		"gpt3-13B/h100-80g-ddr512":       "4d3d309feb1ea2f2668601d0d016d24428019ac24f0f92345e1cb61026b662c0",
+		"gpt3-175B/a100-80g":             "c5797506f9e29cad5d28e1b55dd077a32a8f97f4eccbd06dd47db5d3947acc74",
+		"gpt3-175B/h100-80g-ddr512":      "1c97c7f3596951e3e38fefd7035feee4b012713f1bc718261419e8b455a2aea2",
+		"gpt3-6.7B/a100-80g":             "51d7df11346ac7d57fcf39f366c70b25307887e26ff62bcced32c9c838c6a4df",
+		"gpt3-6.7B/h100-80g-ddr512":      "e2fba6214ef1fa5435c73ef7faf7e606856695e5096e7ed269e01ceea2478cca",
+		"llama-65B/a100-80g":             "b270f2359681de7034e272efbdfede7b3165209d675f3974a10eef28178ac851",
+		"llama-65B/h100-80g-ddr512":      "ec490584f7e229cdc9517246dc93d329dae0d2d55dbfa415b7f59a486d9da781",
+		"megatron-1T/a100-80g":           "6504717f7fa3fc689d31a4de90f144a05507f49a348865104ef3d3cd531fbbd9",
+		"megatron-1T/h100-80g-ddr512":    "92f88fd8014932f75c95662ae1447b07795f0449101c5fc4fd39b26af0ff16d3",
+		"megatron-22B/a100-80g":          "8497c58896056a95eab2bfa3df50d8c195db9e06c7e356ea5bb26f608ce43d31",
+		"megatron-22B/h100-80g-ddr512":   "63c212e1da81b62bb8b9f764a7764800f0f8420d70c3d4eb4a3feeeda880d0eb",
+		"palm-540B/a100-80g":             "5275d2725c5b4cb0f2d5d90114d951ff19f132da733e4fde73fb9d1869217f1e",
+		"palm-540B/h100-80g-ddr512":      "90a012820ab170e466659bb7f034fa55a872df6b0d1883c228674e6a42693cba",
+		"turing-530B/a100-80g":           "2fcac3c5d672474dfe2a8fdc79808acda2a426efc923868bf7592bde6985974c",
+		"turing-530B/h100-80g-ddr512":    "f30c701014655a99511618e3ca04b658a130467473b5dde1b6306f68906fef2c",
+	}
+	for _, mc := range []string{
+		"chinchilla-70B", "gpt2-1.5B", "gpt3-13B", "gpt3-175B", "gpt3-6.7B",
+		"llama-65B", "megatron-1T", "megatron-22B", "palm-540B", "turing-530B",
+	} {
+		m, err := config.Load[model.LLM]("../../configs/models/" + mc + ".json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range []string{"a100-80g", "h100-80g-ddr512"} {
+			sys, err := config.Load[system.System]("../../configs/systems/" + sc + ".json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Key(m, sys, normalizedOpts(sys))
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := mc + "/" + sc
+			if want := golden[name]; got != want {
+				t.Errorf("%s: key %s, want %s (a deliberate semantic change must bump StrategySpaceVersion instead)",
+					name, got, want)
+			}
+		}
+	}
+}
+
+// TestKeyNoCollisions hashes a corpus of single-field perturbations around
+// a base search and requires every distinct input to land on a distinct
+// key. This is the other half of the golden test: stability for identical
+// inputs, separation for different ones — in particular that no
+// result-affecting field was accidentally dropped from the payload.
+func TestKeyNoCollisions(t *testing.T) {
+	baseM := model.MustPreset("gpt3-13B")
+	baseSys := system.A100(64)
+	seen := make(map[string]string) // key -> description of the input
+
+	add := func(desc string, m model.LLM, sys system.System, opts search.Options) {
+		t.Helper()
+		k, err := Key(m, sys, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("collision: %q and %q share key %s", prev, desc, k)
+		}
+		seen[k] = desc
+	}
+
+	add("base", baseM, baseSys, normalizedOpts(baseSys))
+	for _, batch := range []int{8, 16, 512, 3072} {
+		add(fmt.Sprintf("batch=%d", batch), baseM.WithBatch(batch), baseSys, normalizedOpts(baseSys))
+	}
+	for _, preset := range []string{"gpt2-1.5B", "megatron-22B", "chinchilla-70B", "turing-530B"} {
+		add("model="+preset, model.MustPreset(preset), baseSys, normalizedOpts(baseSys))
+	}
+	perturbed := baseM
+	perturbed.Seq *= 2
+	add("seq*2", perturbed, baseSys, normalizedOpts(baseSys))
+
+	for _, procs := range []int{8, 16, 128, 4096} {
+		sys := system.A100(procs)
+		add(fmt.Sprintf("procs=%d", procs), baseM, sys, normalizedOpts(sys))
+	}
+	shrunk := baseSys.WithMem1Capacity(baseSys.Mem1.Capacity / 2)
+	add("mem1/2", baseM, shrunk, normalizedOpts(shrunk))
+	withDDR := baseSys.WithMem2(system.DDR5(512 * units.GiB))
+	add("mem2=ddr512", baseM, withDDR, normalizedOpts(withDDR))
+	h100 := system.H100(64, 80*units.GiB, 512*units.GiB)
+	add("h100", baseM, h100, normalizedOpts(h100))
+
+	for _, f := range []execution.FeatureSet{execution.FeatureBaseline, execution.FeatureSeqPar} {
+		o := normalizedOpts(baseSys)
+		o.Enum.Features = f
+		add("features="+string(f), baseM, baseSys, o)
+	}
+	for _, tp := range []int{4, 8, 32} {
+		o := normalizedOpts(baseSys)
+		o.Enum.MaxTP = tp
+		add(fmt.Sprintf("maxtp=%d", tp), baseM, baseSys, o)
+	}
+	for _, il := range []int{1, 2, 4} {
+		o := normalizedOpts(baseSys)
+		o.Enum.MaxInterleave = il
+		add(fmt.Sprintf("interleave=%d", il), baseM, baseSys, o)
+	}
+	{
+		o := normalizedOpts(baseSys)
+		o.Enum.PinBeneficial = true
+		add("pin-beneficial", baseM, baseSys, o)
+	}
+	for _, k := range []int{2, 5, 10} {
+		o := normalizedOpts(baseSys)
+		o.TopK = k
+		add(fmt.Sprintf("topk=%d", k), baseM, baseSys, o)
+	}
+	{
+		o := normalizedOpts(baseSys)
+		o.Pareto = true
+		add("pareto", baseM, baseSys, o)
+	}
+	// The Disable* switches change the diagnostic counters a verdict
+	// carries, so each spelling must have its own identity.
+	for _, d := range []string{"prescreen", "memo", "subtree"} {
+		o := normalizedOpts(baseSys)
+		switch d {
+		case "prescreen":
+			o.DisablePreScreen = true
+		case "memo":
+			o.DisableMemo = true
+		case "subtree":
+			o.DisableSubtreePrune = true
+		}
+		add("disable-"+d, baseM, baseSys, o)
+	}
+
+	// Scheduling and observability knobs must NOT change the identity: a
+	// sweep sharded across machines with different worker counts has to hit
+	// the rows a single machine wrote.
+	o := normalizedOpts(baseSys)
+	o.Workers = 7
+	o.EstimateTotal = true
+	o.Progress = &search.Progress{}
+	k, err := Key(baseM, baseSys, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen[k] != "base" {
+		t.Fatalf("worker/progress knobs changed the key (landed on %q, want \"base\")", seen[k])
+	}
+}

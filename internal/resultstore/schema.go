@@ -1,0 +1,135 @@
+// Package resultstore persists search verdicts across processes so that no
+// search ever walks the same strategy subtree twice. It is the warm-cache
+// layer under the CLI and calculond: an append-only JSONL file of typed rows
+// keyed on a canonical content hash of the search's result-affecting inputs,
+// with an in-memory dedup index (last write wins), buffered batched commits,
+// fsync on flush, and crash-safe recovery that tolerates a truncated final
+// line. The split mirrors m-lab/etl's layering: schema.go owns the typed row
+// structs, store.go the buffered commit path, and cache.go the dedup lookup
+// the search engines consult.
+//
+// Correctness contract: a served verdict is bit-identical to what a fresh
+// evaluation would return — same Best/Top/Pareto numbers, same counters.
+// The equivalence tests in this package lock that in; anything that changes
+// what a search computes must bump StrategySpaceVersion, which invalidates
+// every stored row at load time (stale rows are skipped, not served).
+package resultstore
+
+import (
+	"time"
+
+	"calculon/internal/model"
+	"calculon/internal/perf"
+	"calculon/internal/search"
+	"calculon/internal/system"
+)
+
+const (
+	// SchemaVersion is the wire-format version of Row. A file whose rows
+	// carry any other value is rejected loudly at Open: an unknown schema is
+	// indistinguishable from corruption, and silently dropping it could mask
+	// a downgrade serving wrong verdicts.
+	SchemaVersion = 1
+
+	// StrategySpaceVersion identifies the semantics behind a stored verdict:
+	// the enumeration order of the strategy lattice, the tie-break sequence,
+	// and the performance model itself. Bump it whenever any of those change
+	// in a result-visible way; rows stamped with an older version become
+	// stale and are skipped at load time (cache invalidation), never served.
+	// It is part of the canonical key, so old and new rows cannot collide.
+	StrategySpaceVersion = 1
+)
+
+// Row is one committed search verdict: the envelope (schema/space versions,
+// canonical key, provenance) plus the verdict payload. Rows are append-only;
+// re-running a search appends a fresh row and the loader keeps the last one
+// per key.
+type Row struct {
+	// Schema is the wire-format version; see SchemaVersion.
+	Schema int `json:"schema"`
+	// Space is the strategy-space version the verdict was computed under;
+	// see StrategySpaceVersion.
+	Space int `json:"space_version"`
+	// Key is the canonical content hash identifying the search; see Key.
+	Key string `json:"key"`
+	// CreatedUnix records when the verdict was committed (provenance only —
+	// it is not part of the identity and never affects lookups).
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+	// Model, System, and Procs are human-readable provenance for people
+	// grepping the JSONL; the authoritative identity is Key.
+	Model  string `json:"model,omitempty"`
+	System string `json:"system,omitempty"`
+	Procs  int    `json:"procs,omitempty"`
+
+	Verdict Verdict `json:"verdict"`
+}
+
+// Verdict is the stored form of a search.Result. It mirrors the result
+// field-for-field with explicit JSON tags so the wire schema is a conscious
+// decision rather than an accident of Go field names; the conversions below
+// are the only place the two meet, so a Result field added without a schema
+// decision fails to round-trip in the equivalence tests.
+//
+// Rates is deliberately absent: histogram searches (CollectRates) order
+// their samples by worker completion, which is not run-to-run
+// deterministic, so the search layer bypasses the store for them.
+type Verdict struct {
+	Evaluated     int           `json:"evaluated"`
+	Feasible      int           `json:"feasible"`
+	PreScreened   int           `json:"pre_screened"`
+	CacheHits     int           `json:"cache_hits"`
+	SubtreePruned int           `json:"subtree_pruned"`
+	Best          perf.Result   `json:"best"`
+	Top           []perf.Result `json:"top,omitempty"`
+	Pareto        []perf.Result `json:"pareto,omitempty"`
+}
+
+// newVerdict captures a finished search result for storage.
+func newVerdict(res search.Result) Verdict {
+	return Verdict{
+		Evaluated:     res.Evaluated,
+		Feasible:      res.Feasible,
+		PreScreened:   res.PreScreened,
+		CacheHits:     res.CacheHits,
+		SubtreePruned: res.SubtreePruned,
+		Best:          res.Best,
+		Top:           res.Top,
+		Pareto:        res.Pareto,
+	}
+}
+
+// result reconstructs the search.Result a fresh evaluation would have
+// returned. Slices are copied so a caller mutating the returned result
+// cannot poison the index (perf.Result is a flat value type, so an element
+// copy is a deep copy).
+func (v Verdict) result() search.Result {
+	res := search.Result{
+		Evaluated:     v.Evaluated,
+		Feasible:      v.Feasible,
+		PreScreened:   v.PreScreened,
+		CacheHits:     v.CacheHits,
+		SubtreePruned: v.SubtreePruned,
+		Best:          v.Best,
+	}
+	if v.Top != nil {
+		res.Top = append([]perf.Result(nil), v.Top...)
+	}
+	if v.Pareto != nil {
+		res.Pareto = append([]perf.Result(nil), v.Pareto...)
+	}
+	return res
+}
+
+// NewRow stamps a fresh envelope around a finished search's verdict.
+func NewRow(key string, m model.LLM, sys system.System, res search.Result) Row {
+	return Row{
+		Schema:      SchemaVersion,
+		Space:       StrategySpaceVersion,
+		Key:         key,
+		CreatedUnix: time.Now().Unix(),
+		Model:       m.Name,
+		System:      sys.Name,
+		Procs:       sys.Procs,
+		Verdict:     newVerdict(res),
+	}
+}

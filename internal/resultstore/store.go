@@ -1,0 +1,298 @@
+package resultstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBatchSize is the number of appended rows buffered before an
+// automatic flush. Batching amortizes the write+fsync cost across a sweep's
+// many per-size verdicts; Flush/Close force the tail out.
+const DefaultBatchSize = 64
+
+// ErrClosed reports an operation on a store after Close.
+var ErrClosed = errors.New("resultstore: store is closed")
+
+// counters is the store's observability surface. Fields are bumped by
+// searches on many goroutines while /metrics reads concurrently, so access
+// is sync/atomic only — the same contract calculonvet's atomiccounter
+// analyzer enforces on search.Progress.
+//
+//calculonvet:counter
+type counters struct {
+	hits    atomic.Int64
+	misses  atomic.Int64
+	appends atomic.Int64
+	flushes atomic.Int64
+}
+
+// Stats is one observation of a store's activity.
+type Stats struct {
+	// Rows is the number of distinct keys currently in the index.
+	Rows int
+	// Loaded counts the rows read back at Open (before dedup); Stale the
+	// subset skipped for carrying an outdated strategy-space version;
+	// RecoveredBytes the truncated final-line bytes dropped at Open.
+	Loaded         int
+	Stale          int
+	RecoveredBytes int
+	// Hits/Misses count lookups; Appends committed rows; Flushes batch
+	// writes (each followed by one fsync).
+	Hits    int64
+	Misses  int64
+	Appends int64
+	Flushes int64
+}
+
+// Store is an append-only JSONL file of search verdicts with an in-memory
+// dedup index. One process owns a store file at a time (the daemon shares a
+// single Store across all jobs); methods are safe for concurrent use.
+type Store struct {
+	ctr counters
+
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	index   map[string]Verdict
+	pending []Row
+	batch   int
+	closed  bool
+	// load-time observations, fixed after Open.
+	loaded         int
+	stale          int
+	recoveredBytes int
+}
+
+// Open reads an existing store (creating an empty one if absent), rebuilds
+// the dedup index, and leaves the file positioned for appends.
+//
+// Recovery semantics, in order of severity:
+//   - A final line without a terminating newline is a crash artifact: the
+//     flush that wrote it never completed. If the fragment still parses as a
+//     complete row it is preserved (rewritten with its newline and synced);
+//     otherwise it is dropped and the file truncated back to the last
+//     committed row. Either way every committed row survives.
+//   - A newline-terminated row that fails to decode, carries an unknown
+//     schema version, or has an empty key is corruption, not a crash shape —
+//     committed rows are written and fsynced whole — so Open fails loudly
+//     rather than serving a file it cannot vouch for.
+//   - A row with an outdated strategy-space version is stale, not corrupt:
+//     it is counted and skipped, which is how a version bump invalidates
+//     every previously cached verdict.
+//
+// Duplicate keys resolve last-write-wins, matching append order.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{
+		f:     f,
+		path:  path,
+		index: make(map[string]Verdict),
+		batch: DefaultBatchSize,
+	}
+	if err := s.load(); err != nil {
+		// Close cannot mask the load error: the file was only read.
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// load replays the JSONL file into the index and settles the write offset,
+// applying the recovery semantics documented on Open.
+func (s *Store) load() error {
+	data, err := io.ReadAll(s.f)
+	if err != nil {
+		return fmt.Errorf("resultstore: %s: %w", s.path, err)
+	}
+	off := 0
+	var tail []byte // unterminated final-line fragment, if any
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			tail = data[off:]
+			break
+		}
+		line := data[off : off+nl]
+		if len(bytes.TrimSpace(line)) != 0 {
+			row, err := decodeRow(line)
+			if err != nil {
+				return fmt.Errorf("resultstore: %s: corrupt row at byte %d: %w", s.path, off, err)
+			}
+			s.loaded++
+			if row.Space != StrategySpaceVersion {
+				s.stale++
+			} else {
+				s.index[row.Key] = row.Verdict
+			}
+		}
+		off += nl + 1
+	}
+	if tail == nil {
+		return nil
+	}
+	// Crash recovery: drop the uncommitted fragment, then salvage it if it
+	// happens to be a complete row that only lost its newline.
+	if err := s.f.Truncate(int64(off)); err != nil {
+		return fmt.Errorf("resultstore: %s: truncating partial row: %w", s.path, err)
+	}
+	if _, err := s.f.Seek(int64(off), io.SeekStart); err != nil {
+		return fmt.Errorf("resultstore: %s: %w", s.path, err)
+	}
+	row, err := decodeRow(tail)
+	if err != nil || row.Space != StrategySpaceVersion {
+		s.recoveredBytes = len(tail)
+		return nil
+	}
+	if _, err := s.f.Write(append(append([]byte(nil), tail...), '\n')); err != nil {
+		return fmt.Errorf("resultstore: %s: rewriting salvaged row: %w", s.path, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("resultstore: %s: %w", s.path, err)
+	}
+	s.loaded++
+	s.index[row.Key] = row.Verdict
+	return nil
+}
+
+// decodeRow parses one JSONL line into a Row, enforcing the envelope
+// invariants (known schema version, non-empty key). It is the surface
+// FuzzResultStoreDecode hammers: arbitrary bytes must error, never panic.
+func decodeRow(line []byte) (Row, error) {
+	var row Row
+	if err := json.Unmarshal(line, &row); err != nil {
+		return row, err
+	}
+	if row.Schema != SchemaVersion {
+		return row, fmt.Errorf("unknown schema version %d (want %d)", row.Schema, SchemaVersion)
+	}
+	if row.Key == "" {
+		return row, fmt.Errorf("row has no key")
+	}
+	return row, nil
+}
+
+// Path returns the backing file's path.
+func (s *Store) Path() string { return s.path }
+
+// SetBatchSize adjusts how many appended rows buffer before an automatic
+// flush; n < 1 flushes every append. Intended for configuration right after
+// Open, but safe at any point.
+func (s *Store) SetBatchSize(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batch = n
+}
+
+// lookup returns the verdict stored under key, if any.
+func (s *Store) lookup(key string) (Verdict, bool) {
+	s.mu.Lock()
+	v, ok := s.index[key]
+	s.mu.Unlock()
+	if ok {
+		s.ctr.hits.Add(1)
+	} else {
+		s.ctr.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Append records a row: the index serves it immediately (last write wins)
+// and the row joins the pending batch, flushed to disk once the batch fills.
+// Call Flush or Close to force the tail out; rows are only crash-durable
+// after their batch has flushed (each flush ends in fsync).
+func (s *Store) Append(row Row) error {
+	if row.Key == "" {
+		return fmt.Errorf("resultstore: refusing to append row with no key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.index[row.Key] = row.Verdict
+	s.pending = append(s.pending, row)
+	s.ctr.appends.Add(1)
+	if len(s.pending) >= s.batch {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// Flush commits the pending batch: one buffered write of whole JSONL lines,
+// then fsync, so a crash can truncate at most the final line of the final
+// write — exactly the shape Open recovers from.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.flushLocked()
+}
+
+// flushLocked writes and syncs the pending rows. Caller holds mu.
+func (s *Store) flushLocked() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	for _, row := range s.pending {
+		data, err := json.Marshal(row)
+		if err != nil {
+			return fmt.Errorf("resultstore: encoding row %s: %w", row.Key, err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	if _, err := s.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("resultstore: %s: %w", s.path, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("resultstore: %s: %w", s.path, err)
+	}
+	s.pending = s.pending[:0]
+	s.ctr.flushes.Add(1)
+	return nil
+}
+
+// Close flushes the pending batch and releases the file. The store is
+// unusable afterwards; Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	flushErr := s.flushLocked()
+	s.closed = true
+	if err := s.f.Close(); err != nil && flushErr == nil {
+		flushErr = fmt.Errorf("resultstore: %s: %w", s.path, err)
+	}
+	return flushErr
+}
+
+// Stats snapshots the store's activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	rows, loaded, stale, recovered := len(s.index), s.loaded, s.stale, s.recoveredBytes
+	s.mu.Unlock()
+	return Stats{
+		Rows:           rows,
+		Loaded:         loaded,
+		Stale:          stale,
+		RecoveredBytes: recovered,
+		Hits:           s.ctr.hits.Load(),
+		Misses:         s.ctr.misses.Load(),
+		Appends:        s.ctr.appends.Load(),
+		Flushes:        s.ctr.flushes.Load(),
+	}
+}

@@ -29,6 +29,7 @@ type Progress struct {
 	prescreened   atomic.Int64
 	cacheHits     atomic.Int64
 	subtreePruned atomic.Int64
+	storeHits     atomic.Int64
 	total         atomic.Int64
 	// startNano is the time the first search attached, in nanoseconds since
 	// the Unix epoch; zero means not started.
@@ -68,6 +69,7 @@ type progressDelta struct {
 	prescreened   int64
 	cacheHits     int64
 	subtreePruned int64
+	storeHits     int64
 }
 
 // add flushes one chunk's worth of counts.
@@ -86,6 +88,9 @@ func (p *Progress) add(d progressDelta) {
 	}
 	if d.subtreePruned != 0 {
 		p.subtreePruned.Add(d.subtreePruned)
+	}
+	if d.storeHits != 0 {
+		p.storeHits.Add(d.storeHits)
 	}
 	if m := p.mirror.Load(); m != nil {
 		m.add(d)
@@ -111,6 +116,7 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		PreScreened:   p.prescreened.Load(),
 		CacheHits:     p.cacheHits.Load(),
 		SubtreePruned: p.subtreePruned.Load(),
+		StoreHits:     p.storeHits.Load(),
 		Total:         p.total.Load(),
 	}
 	if start := p.startNano.Load(); start != 0 {
@@ -140,6 +146,10 @@ type ProgressSnapshot struct {
 	// never enumerated. A progress line therefore covers the full space, not
 	// just the leaves that were generated.
 	SubtreePruned int64
+	// StoreHits counts whole searches served from a persistent result store
+	// (Options.Cache) without evaluating anything: the served verdict's own
+	// counters live in the returned Result, not here.
+	StoreHits int64
 	// Total is the expected number of strategies, when known (see
 	// Options.EstimateTotal and Progress.AddTotal); 0 when unknown.
 	Total int64
@@ -166,6 +176,9 @@ func (s ProgressSnapshot) String() string {
 	}
 	if s.SubtreePruned > 0 {
 		out += fmt.Sprintf(", %d subtree-pruned", s.SubtreePruned)
+	}
+	if s.StoreHits > 0 {
+		out += fmt.Sprintf(", %d store hits", s.StoreHits)
 	}
 	if s.Rate > 0 {
 		out += fmt.Sprintf(", %s strategies/s", compactCount(s.Rate))

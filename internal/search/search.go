@@ -81,6 +81,21 @@ type Options struct {
 	// equivalence property tests), only slower with the pruning off.
 	DisableSubtreePrune bool
 
+	// Cache, when non-nil, is a persistent store of finished search verdicts
+	// (see internal/resultstore). It is consulted once per search, after
+	// option normalization and before any evaluation: a hit returns the
+	// stored Result verbatim — bit-identical to what the walk would produce,
+	// a contract the resultstore equivalence tests lock in — and a miss runs
+	// the search and stores the finished Result. Cancelled or failed
+	// searches are never stored, and searches with CollectRates set bypass
+	// the cache entirely (the Rates slice is ordered by worker completion,
+	// which is not run-to-run deterministic).
+	Cache Cache
+	// DisableStore bypasses Cache without unwiring it: no lookup, no store.
+	// The escape hatch mirrors DisablePreScreen/DisableMemo — results are
+	// identical either way, this exists for A/B tests and measurement.
+	DisableStore bool
+
 	// sharedRunner, when non-nil, evaluates strategies instead of a freshly
 	// built Runner. SystemSize threads per-size Runners drawn from one
 	// perf.RunnerGroup through it so block profiles memoized at one size are
@@ -195,6 +210,25 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 	prog := opts.Progress
 	if prog == nil && opts.OnProgress != nil {
 		prog = &Progress{}
+	}
+
+	// The store is consulted here — options normalized, nothing evaluated
+	// yet — so every spelling of the same search maps to one cache identity.
+	// A hit returns the stored verdict whole; the only trace it leaves on
+	// the live counters is StoreHits (inflating Evaluated with work this
+	// process never did would corrupt throughput and ETA accounting).
+	useStore := opts.Cache != nil && !opts.DisableStore && !opts.CollectRates
+	if useStore {
+		if res, ok := opts.Cache.Lookup(m, sys, opts); ok {
+			if prog != nil {
+				prog.markStart()
+				prog.add(progressDelta{storeHits: 1})
+			}
+			if opts.OnProgress != nil {
+				opts.OnProgress(prog.Snapshot())
+			}
+			return res, nil
+		}
 	}
 	if prog != nil {
 		prog.markStart()
@@ -354,6 +388,11 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 				out.Pareto = append(out.Pareto, s.res)
 			}
 		}
+	}
+	if useStore && ctx.Err() == nil {
+		// Only complete verdicts are stored: a cancelled walk's counters and
+		// fronts cover an unpredictable prefix of the space.
+		opts.Cache.Store(m, sys, opts, out)
 	}
 	return out, ctx.Err()
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"calculon/internal/resultstore"
 	"calculon/internal/search"
 )
 
@@ -27,6 +28,11 @@ type Manager struct {
 	budget  *Budget
 	metrics *Metrics
 	fleet   *search.Progress
+	// store, when non-nil, is the shared persistent result store every job
+	// consults before searching and feeds afterwards. Jobs only read and
+	// append; the daemon owns open/flush/close around the manager's
+	// lifecycle, so a drain settles every pending row before exit.
+	store *resultstore.Store
 
 	// intakeCtx gates the scheduler: cancelling it stops new jobs from
 	// starting. hardCtx parents every job's run context: cancelling it stops
@@ -206,6 +212,11 @@ func (m *Manager) runJob(job *Job, workers int, release func()) {
 	opts := job.prep.opts
 	opts.Workers = workers
 	opts.Progress = job.prog
+	if m.store != nil {
+		// A typed-nil *Store behind the interface would defeat the nil check
+		// inside Execution, hence the explicit guard.
+		opts.Cache = m.store
+	}
 	res, err := search.Execution(ctx, job.prep.m, job.prep.sys, opts)
 	state := StateDone
 	switch {

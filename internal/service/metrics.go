@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"calculon/internal/resultstore"
 	"calculon/internal/search"
 )
 
@@ -38,9 +39,10 @@ func write(w io.Writer, name, typ string, v int64) {
 }
 
 // Expose writes the Prometheus-style text exposition: job lifecycle
-// counters and gauges, the budget's shape, and the fleet-wide strategy
-// counters aggregated across every job the daemon has run.
-func (m *Metrics) Expose(w io.Writer, fleet search.ProgressSnapshot, budget *Budget) {
+// counters and gauges, the budget's shape, the fleet-wide strategy counters
+// aggregated across every job the daemon has run, and — when a persistent
+// result store is attached — the store's dedup-cache counters.
+func (m *Metrics) Expose(w io.Writer, fleet search.ProgressSnapshot, budget *Budget, store *resultstore.Store) {
 	write(w, "calculond_jobs_submitted_total", "counter", m.submitted.Load())
 	write(w, "calculond_jobs_rejected_total", "counter", m.rejected.Load())
 	write(w, "calculond_requests_ratelimited_total", "counter", m.ratelimited.Load())
@@ -57,4 +59,13 @@ func (m *Metrics) Expose(w io.Writer, fleet search.ProgressSnapshot, budget *Bud
 	write(w, "calculond_strategies_prescreened_total", "counter", fleet.PreScreened)
 	write(w, "calculond_strategies_subtree_pruned_total", "counter", fleet.SubtreePruned)
 	write(w, "calculond_strategy_cache_hits_total", "counter", fleet.CacheHits)
+	write(w, "calculond_searches_from_store_total", "counter", fleet.StoreHits)
+	if store != nil {
+		st := store.Stats()
+		write(w, "calculond_store_rows", "gauge", int64(st.Rows))
+		write(w, "calculond_store_hits_total", "counter", st.Hits)
+		write(w, "calculond_store_misses_total", "counter", st.Misses)
+		write(w, "calculond_store_appends_total", "counter", st.Appends)
+		write(w, "calculond_store_flushes_total", "counter", st.Flushes)
+	}
 }

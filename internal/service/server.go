@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"calculon/internal/perf"
+	"calculon/internal/resultstore"
 	"calculon/internal/search"
 )
 
@@ -30,6 +31,13 @@ type Config struct {
 	Burst int
 	// MaxWait caps the ?wait long-poll on the result endpoint (default 30s).
 	MaxWait time.Duration
+	// Store, when non-nil, is the persistent result store every job
+	// consults before searching and feeds afterwards (see
+	// internal/resultstore): resubmitting a spec the daemon has already
+	// answered — even in a previous process — completes from cache without
+	// evaluating a single strategy. The daemon owns the store's lifecycle
+	// (open before New, close after Drain).
+	Store *resultstore.Store
 }
 
 // maxBodyBytes bounds a job-spec body; anything bigger is a client error.
@@ -60,6 +68,7 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		maxWait: maxWait,
 	}
+	s.man.store = cfg.Store
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/jobs", s.limited(s.handleSubmit))
@@ -110,7 +119,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.man.Metrics().Expose(w, s.man.FleetSnapshot(), s.man.Budget())
+	s.man.Metrics().Expose(w, s.man.FleetSnapshot(), s.man.Budget(), s.man.store)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -235,6 +244,7 @@ type ProgressStatus struct {
 	PreScreened    int64   `json:"pre_screened"`
 	SubtreePruned  int64   `json:"subtree_pruned"`
 	CacheHits      int64   `json:"cache_hits"`
+	StoreHits      int64   `json:"store_hits,omitempty"`
 	Total          int64   `json:"total,omitempty"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	Rate           float64 `json:"rate,omitempty"`
@@ -248,6 +258,7 @@ func progressStatus(s search.ProgressSnapshot) ProgressStatus {
 		PreScreened:    s.PreScreened,
 		SubtreePruned:  s.SubtreePruned,
 		CacheHits:      s.CacheHits,
+		StoreHits:      s.StoreHits,
 		Total:          s.Total,
 		ElapsedSeconds: s.Elapsed.Seconds(),
 		Rate:           s.Rate,

@@ -38,6 +38,12 @@ type SearchSpec struct {
 	// TimeoutSeconds bounds the job's wall-clock run; 0 means no limit.
 	// A timed-out job fails with a deadline error and partial counters.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// DisableStore bypasses the daemon's persistent result store for this
+	// job: no cached verdict is served and the fresh one is not persisted.
+	// Results are identical either way (the store serves bit-identical
+	// verdicts); the escape hatch exists for A/B measurement and to force
+	// re-evaluation.
+	DisableStore bool `json:"disable_store,omitempty"`
 }
 
 // JobSpec is the body of POST /v1/jobs: the same model/system references the
@@ -96,6 +102,7 @@ func (s JobSpec) prepare() (prepared, error) {
 		TopK:          topK,
 		Pareto:        s.Search.Pareto,
 		EstimateTotal: true,
+		DisableStore:  s.Search.DisableStore,
 	}
 	p.timeout = time.Duration(s.Search.TimeoutSeconds * float64(time.Second))
 	return p, nil
