@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint fmt vet calculonvet staticcheck race bench e2e
+.PHONY: build test lint fmt vet calculonvet staticcheck race bench bench-update e2e
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,18 @@ race:
 e2e:
 	$(GO) test -tags e2e -run TestCalculondE2E -v ./cmd/calculond
 
-bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkExecutionSearch|BenchmarkSystemSizeSweep' -benchtime 1x ./internal/search
+# bench runs the exact measurement procedure the BENCH_BASELINE.json note
+# documents and compares against the committed baseline (what CI's
+# bench-smoke job does). bench-update re-measures and rewrites the baseline
+# — run it on the reference machine after a deliberate performance change.
+BENCH_CMDS = \
+	$(GO) test -run '^$$' -bench BenchmarkExecutionSearch -benchtime 100x -count 3 ./internal/search; \
+	$(GO) test -run '^$$' -bench BenchmarkSystemSizeSweep -benchtime 1x ./internal/search; \
+	$(GO) test -run '^$$' -bench BenchmarkRunner -benchtime 100x ./internal/perf; \
 	$(GO) test -run '^$$' -bench BenchmarkSearchWarmStore -benchtime 100x ./internal/resultstore
+
+bench:
+	@{ $(BENCH_CMDS); } | tee /dev/stderr | $(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -tolerance 0.30
+
+bench-update:
+	@{ $(BENCH_CMDS); } | tee /dev/stderr | $(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -update

@@ -201,3 +201,49 @@ func TestCompareAllocsZeroBaselineGuard(t *testing.T) {
 		t.Fatal("gaining allocations over a zero baseline must fail")
 	}
 }
+
+// TestBestOfN: with -count=N the same benchmark appears N times on stdin;
+// the gate compares the best observation per metric (max throughput, min
+// allocs), shielding it from one-sided machine noise.
+func TestBestOfN(t *testing.T) {
+	fresh := []Measurement{
+		{"BenchmarkExecutionSearch", "strategies/s", 60_000}, // noisy cold run
+		{"BenchmarkExecutionSearch", "strategies/s", 95_000},
+		{"BenchmarkExecutionSearch", "strategies/s", 80_000},
+		{"BenchmarkExecutionSearch", "allocs/op", 12},
+		{"BenchmarkExecutionSearch", "allocs/op", 10},
+	}
+	if _, err := compare(baselineWith(100_000), fresh, 0.30); err != nil {
+		t.Fatalf("best of [60k,95k,80k] is within 30%% of 100k: %v", err)
+	}
+	var base Baseline
+	update(&base, fresh)
+	got := base.Benchmarks["BenchmarkExecutionSearch"]
+	if got["strategies/s"] != 95_000 || got["allocs/op"] != 10 {
+		t.Errorf("update kept %v, want best-of (95000 strategies/s, 10 allocs/op)", got)
+	}
+}
+
+// TestUpdateRespectsCuratedMetricSet: -update refreshes only the metrics the
+// baseline already tracks for an existing benchmark (the set is curated —
+// noisy metrics are deliberately absent), while a brand-new benchmark gets
+// every custom metric to start from.
+func TestUpdateRespectsCuratedMetricSet(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]map[string]float64{
+		"BenchmarkSearchWarmStore": {"allocs/op": 6},
+	}}
+	update(&base, []Measurement{
+		{"BenchmarkSearchWarmStore", "allocs/op", 4},
+		{"BenchmarkSearchWarmStore", "strategies/s", 3.9e8}, // deliberately unbaselined
+		{"BenchmarkNew", "allocs/op", 7},
+		{"BenchmarkNew", "strategies/s", 1000},
+	})
+	ws := base.Benchmarks["BenchmarkSearchWarmStore"]
+	if len(ws) != 1 || ws["allocs/op"] != 4 {
+		t.Errorf("curated entry widened or not refreshed: %v", ws)
+	}
+	nw := base.Benchmarks["BenchmarkNew"]
+	if len(nw) != 2 || nw["allocs/op"] != 7 || nw["strategies/s"] != 1000 {
+		t.Errorf("new entry should get every custom metric: %v", nw)
+	}
+}

@@ -74,6 +74,8 @@ func dispatch(ctx context.Context, cmd string, args []string) error {
 		return cmdRun(args)
 	case "search":
 		return cmdSearch(ctx, args)
+	case "merge":
+		return cmdMerge(args)
 	case "scaling":
 		return cmdScaling(ctx, args)
 	case "timeline":
@@ -103,6 +105,8 @@ func usage() {
   calculon run     -model <preset> -procs N -tp T -pp P -dp D [flags]   single estimate
   calculon run     -scenario file.json                                  estimate from a spec file
   calculon search  -model <preset> -procs N [flags]                     optimal execution search (§5.1)
+  calculon search  ... -shard 2/3 -o part2.json                         evaluate one shard of a search
+  calculon merge   part1.json part2.json part3.json                     merge shard results bit-identically
   calculon study   <experiment> [-full]                                 reproduce a paper table/figure
   calculon scaling -model <preset> -step 64 -max 1024 [flags]           size sweep + right-sizing (§5.2)
   calculon timeline -model <preset> -tp T -pp P -interleave V [flags]   render the pipeline schedule (Fig. 2)
@@ -260,6 +264,9 @@ func cmdSearch(ctx context.Context, args []string) (retErr error) {
 	pareto := fs.Bool("pareto", false, "print the time-vs-memory Pareto front")
 	pin := fs.Bool("pin", false, "pin always-beneficial toggles (faster, same optimum)")
 	maxIl := fs.Int("max-interleave", 0, "cap the interleave factor (0 = unlimited)")
+	shardFlag := fs.String("shard", "", "evaluate one shard i/n (1-based, e.g. 2/3) of the search and emit a mergeable partial result as JSON")
+	asJSON := fs.Bool("json", false, "emit the result as canonical JSON instead of the report")
+	outPath := fs.String("o", "", "write JSON output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -282,6 +289,24 @@ func cmdSearch(ctx context.Context, args []string) (retErr error) {
 		CollectRates: *hist,
 		Pareto:       *pareto,
 	}
+	if *shardFlag != "" {
+		// Sharded runs bypass the store (it operates on whole searches) and
+		// emit a mergeable ShardResult instead of the human report.
+		sh, err := search.ParseShard(*shardFlag)
+		if err != nil {
+			return err
+		}
+		var prog search.Progress
+		rt.attachProgress(&opts, &prog)
+		sres, err := search.ExecutionShard(ctx, m, sys, opts, sh)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "calculon: shard %s stopped early — %s\n", sh, prog.Snapshot())
+			}
+			return err
+		}
+		return writeJSON(*outPath, sres)
+	}
 	closeStore, err := rt.openStore(&opts)
 	if err != nil {
 		return err
@@ -301,6 +326,9 @@ func cmdSearch(ctx context.Context, args []string) (retErr error) {
 			fmt.Fprintf(os.Stderr, "calculon: search stopped early — %s\n", prog.Snapshot())
 		}
 		return err
+	}
+	if *asJSON {
+		return writeJSON(*outPath, newSearchOutput(res))
 	}
 	fmt.Printf("evaluated %d strategies, %d feasible (%d pre-screened, %d subtree-pruned, %d cache hits)\n",
 		res.Evaluated, res.Feasible, res.PreScreened, res.SubtreePruned, res.CacheHits)

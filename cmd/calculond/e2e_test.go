@@ -180,6 +180,27 @@ func TestCalculondE2E(t *testing.T) {
 		t.Fatalf("cached result diverges from the live run: %+v vs %+v", cachedRes, res)
 	}
 
+	// The store inspection endpoint agrees with what just happened: one
+	// committed row (the small job), one hit (the rerun), backed by the
+	// file we pointed -store at.
+	var stStatus struct {
+		Enabled bool   `json:"enabled"`
+		Path    string `json:"path"`
+		Rows    int    `json:"rows"`
+		Hits    int64  `json:"hits"`
+		Misses  int64  `json:"misses"`
+		Appends int64  `json:"appends"`
+	}
+	if code := call("GET", "/v1/store", "", &stStatus); code != http.StatusOK {
+		t.Fatalf("store status: %d", code)
+	}
+	if !stStatus.Enabled || stStatus.Path != storePath {
+		t.Fatalf("store status = %+v, want enabled at %s", stStatus, storePath)
+	}
+	if stStatus.Rows != 1 || stStatus.Hits != 1 || stStatus.Misses != 1 || stStatus.Appends != 1 {
+		t.Fatalf("store status after cached rerun = %+v, want 1 row / 1 hit / 1 miss / 1 append", stStatus)
+	}
+
 	// Submit a ~10M-strategy job, catch it mid-flight, cancel it.
 	var big status
 	if code := call("POST", "/v1/jobs", bigJob, &big); code != http.StatusAccepted {

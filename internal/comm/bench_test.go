@@ -12,6 +12,6 @@ func BenchmarkAllReduce(b *testing.B) {
 	n := system.A100(64).Networks[0]
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = Time(n, AllReduce, 8, 100e6)
+		_ = Time(&n, AllReduce, 8, 100e6)
 	}
 }

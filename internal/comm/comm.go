@@ -46,8 +46,10 @@ func (o Op) String() string {
 
 // Time returns the time for the collective op of the given full-tensor size
 // over a group of g processors on network n. A group of 1 (or empty tensors)
-// costs nothing.
-func Time(n system.Network, op Op, g int, tensor units.Bytes) units.Seconds {
+// costs nothing. The network is taken by pointer: the search hot path prices
+// several collectives per evaluated strategy, and the struct (with its
+// embedded efficiency curve) is large enough that per-call copies show up.
+func Time(n *system.Network, op Op, g int, tensor units.Bytes) units.Seconds {
 	if tensor <= 0 {
 		return 0
 	}

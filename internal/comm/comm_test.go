@@ -16,7 +16,7 @@ func flatNet(bw units.BytesPerSec, lat units.Seconds) system.Network {
 func TestRingAllReduceCost(t *testing.T) {
 	n := flatNet(100, 0)
 	// 2·(g−1)/g · bytes / bw
-	got := Time(n, AllReduce, 4, 400)
+	got := Time(&n, AllReduce, 4, 400)
 	want := units.Seconds(2 * (3.0 / 4.0) * 400 / 100)
 	if math.Abs(float64(got-want)) > 1e-12 {
 		t.Errorf("all-reduce = %v, want %v", got, want)
@@ -31,8 +31,8 @@ func TestRSPlusAGEqualsAllReduce(t *testing.T) {
 	f := func(rawG, rawB uint16) bool {
 		g := int(rawG%31) + 2
 		b := units.Bytes(rawB) + 1
-		ar := Time(n, AllReduce, g, b)
-		rsag := Time(n, ReduceScatter, g, b) + Time(n, AllGather, g, b)
+		ar := Time(&n, AllReduce, g, b)
+		rsag := Time(&n, ReduceScatter, g, b) + Time(&n, AllGather, g, b)
 		return math.Abs(float64(ar-rsag)) <= 1e-9*math.Abs(float64(ar))
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -43,12 +43,12 @@ func TestRSPlusAGEqualsAllReduce(t *testing.T) {
 func TestGroupOfOneIsFree(t *testing.T) {
 	n := flatNet(100, 1e-6)
 	for _, op := range []Op{AllReduce, ReduceScatter, AllGather, Broadcast} {
-		if got := Time(n, op, 1, 1e9); got != 0 {
+		if got := Time(&n, op, 1, 1e9); got != 0 {
 			t.Errorf("%v on group of 1 = %v, want 0", op, got)
 		}
 	}
 	// P2P is between two parties; group size is irrelevant.
-	if got := Time(n, P2P, 1, 100); got <= 0 {
+	if got := Time(&n, P2P, 1, 100); got <= 0 {
 		t.Errorf("p2p must cost time, got %v", got)
 	}
 }
@@ -56,7 +56,7 @@ func TestGroupOfOneIsFree(t *testing.T) {
 func TestZeroBytesFree(t *testing.T) {
 	n := flatNet(100, 1e-6)
 	for _, op := range []Op{AllReduce, ReduceScatter, AllGather, Broadcast, P2P} {
-		if got := Time(n, op, 8, 0); got != 0 {
+		if got := Time(&n, op, 8, 0); got != 0 {
 			t.Errorf("%v of 0 bytes = %v, want 0", op, got)
 		}
 	}
@@ -67,19 +67,19 @@ func TestInNetworkCollectivesCheaper(t *testing.T) {
 	sharp := ring
 	sharp.InNetworkCollectives = true
 	b := units.Bytes(1e9)
-	if !(Time(sharp, AllReduce, 16, b) < Time(ring, AllReduce, 16, b)) {
+	if !(Time(&sharp, AllReduce, 16, b) < Time(&ring, AllReduce, 16, b)) {
 		t.Error("in-network all-reduce must beat the ring")
 	}
 	// Other ops are unaffected.
-	if Time(sharp, AllGather, 16, b) != Time(ring, AllGather, 16, b) {
+	if Time(&sharp, AllGather, 16, b) != Time(&ring, AllGather, 16, b) {
 		t.Error("all-gather must not change with in-network collectives")
 	}
 }
 
 func TestLatencyTermGrowsWithGroup(t *testing.T) {
 	n := flatNet(1e12, 1e-6)
-	small := Time(n, AllGather, 2, 1e3)
-	big := Time(n, AllGather, 64, 1e3)
+	small := Time(&n, AllGather, 2, 1e3)
+	big := Time(&n, AllGather, 64, 1e3)
 	if !(big > small) {
 		t.Errorf("latency term must grow with group size: %v vs %v", small, big)
 	}
@@ -87,7 +87,7 @@ func TestLatencyTermGrowsWithGroup(t *testing.T) {
 
 func TestP2PCost(t *testing.T) {
 	n := flatNet(100, 2e-6)
-	got := Time(n, P2P, 2, 500)
+	got := Time(&n, P2P, 2, 500)
 	want := units.Seconds(5) + 2e-6
 	if math.Abs(float64(got-want)) > 1e-12 {
 		t.Errorf("p2p = %v, want %v", got, want)
@@ -103,7 +103,7 @@ func TestTimeMonotoneInBytes(t *testing.T) {
 			a, b = b, a
 		}
 		for _, op := range []Op{AllReduce, ReduceScatter, AllGather, Broadcast, P2P} {
-			if Time(n, op, 8, a) > Time(n, op, 8, b)+1e-15 {
+			if Time(&n, op, 8, a) > Time(&n, op, 8, b)+1e-15 {
 				return false
 			}
 		}
@@ -160,7 +160,7 @@ func TestLatencySteps(t *testing.T) {
 // all-gather uses the logarithmic schedule, not (g−1) serialized hops.
 func TestLogLatencyBeatsRingForBigGroups(t *testing.T) {
 	n := flatNet(1e15, 1e-6) // bandwidth so high only latency matters
-	got := Time(n, AllGather, 512, 1e3)
+	got := Time(&n, AllGather, 512, 1e3)
 	ringLat := units.Seconds(511e-6)
 	logLat := units.Seconds(9e-6)
 	if got > ringLat/10 {

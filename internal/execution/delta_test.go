@@ -1,0 +1,198 @@
+package execution
+
+import (
+	"fmt"
+	"math/bits"
+	"reflect"
+	"testing"
+)
+
+// toggleDim identifies which of the seven toggle dimensions two strategies
+// differ in, treating the comm combo (TPRSAG/SeqParallel/TPRedoForSP/PPRSAG)
+// and the offload triple (Weight/Act/Optim) each as one dimension, exactly
+// as forEachToggle enumerates them.
+func toggleDims(a, b Strategy) []string {
+	var dims []string
+	if a.Recompute != b.Recompute {
+		dims = append(dims, "recompute")
+	}
+	if a.TPRSAG != b.TPRSAG || a.SeqParallel != b.SeqParallel ||
+		a.TPRedoForSP != b.TPRedoForSP || a.PPRSAG != b.PPRSAG {
+		dims = append(dims, "comm")
+	}
+	if a.TPOverlap != b.TPOverlap {
+		dims = append(dims, "tpOverlap")
+	}
+	if a.DPOverlap != b.DPOverlap {
+		dims = append(dims, "dpOverlap")
+	}
+	if a.OptimSharding != b.OptimSharding {
+		dims = append(dims, "optimSharding")
+	}
+	if a.FusedLayers != b.FusedLayers {
+		dims = append(dims, "fusedLayers")
+	}
+	if a.WeightOffload != b.WeightOffload || a.ActOffload != b.ActOffload ||
+		a.OptimOffload != b.OptimOffload {
+		dims = append(dims, "offload")
+	}
+	return dims
+}
+
+// TestForEachToggleGrayAdjacent proves the Gray property delta evaluation
+// relies on: successive toggle emissions differ in exactly one dimension,
+// and for the offload dimension in exactly one offload switch.
+func TestForEachToggleGrayAdjacent(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts EnumOptions
+	}{
+		{"baseline", EnumOptions{Features: FeatureBaseline}},
+		{"seqpar", EnumOptions{Features: FeatureSeqPar}},
+		{"all", EnumOptions{Features: FeatureAll}},
+		{"all+mem2", EnumOptions{Features: FeatureAll, HasMem2: true}},
+		{"all+mem2+pin", EnumOptions{Features: FeatureAll, HasMem2: true, PinBeneficial: true}},
+		{"seqpar+mem2", EnumOptions{Features: FeatureSeqPar, HasMem2: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var seq []Strategy
+			tc.opts.forEachToggle(Strategy{TP: 2, PP: 2, DP: 2, Microbatch: 1, Interleave: 1}, func(s Strategy) bool {
+				seq = append(seq, s)
+				return true
+			})
+			if len(seq) != tc.opts.togglesPerLeaf() {
+				t.Fatalf("emitted %d toggles, togglesPerLeaf says %d", len(seq), tc.opts.togglesPerLeaf())
+			}
+			for i := 1; i < len(seq); i++ {
+				dims := toggleDims(seq[i-1], seq[i])
+				if len(dims) != 1 {
+					t.Fatalf("step %d changes %d dimensions %v:\nprev %+v\ncurr %+v",
+						i, len(dims), dims, seq[i-1], seq[i])
+				}
+				if dims[0] == "offload" {
+					flips := 0
+					if seq[i-1].WeightOffload != seq[i].WeightOffload {
+						flips++
+					}
+					if seq[i-1].ActOffload != seq[i].ActOffload {
+						flips++
+					}
+					if seq[i-1].OptimOffload != seq[i].OptimOffload {
+						flips++
+					}
+					if flips != 1 {
+						t.Fatalf("step %d flips %d offload switches", i, flips)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForEachToggleExactlyOnce proves the Gray walk emits the same set of
+// toggle combinations as before — every combination exactly once.
+func TestForEachToggleExactlyOnce(t *testing.T) {
+	for _, opts := range []EnumOptions{
+		{Features: FeatureBaseline},
+		{Features: FeatureSeqPar},
+		{Features: FeatureAll},
+		{Features: FeatureAll, HasMem2: true},
+		{Features: FeatureAll, HasMem2: true, PinBeneficial: true},
+	} {
+		seen := map[Strategy]int{}
+		opts.forEachToggle(Strategy{TP: 4, PP: 1, DP: 1, Microbatch: 2, Interleave: 1}, func(s Strategy) bool {
+			seen[s]++
+			return true
+		})
+		if len(seen) != opts.togglesPerLeaf() {
+			t.Fatalf("opts %+v: %d distinct toggles, want %d", opts, len(seen), opts.togglesPerLeaf())
+		}
+		for s, n := range seen {
+			if n != 1 {
+				t.Fatalf("opts %+v: strategy emitted %d times: %+v", opts, n, s)
+			}
+		}
+	}
+}
+
+// TestForEachToggleEarlyStop checks the walk honors a false yield.
+func TestForEachToggleEarlyStop(t *testing.T) {
+	opts := EnumOptions{Features: FeatureAll, HasMem2: true}
+	n := 0
+	done := opts.forEachToggle(Strategy{TP: 1, PP: 1, DP: 1, Microbatch: 1, Interleave: 1}, func(Strategy) bool {
+		n++
+		return n < 5
+	})
+	if done || n != 5 {
+		t.Fatalf("done=%v n=%d, want early stop after 5", done, n)
+	}
+}
+
+// TestDiffMaskCoversAllFields pins the FieldMask bit count to the Strategy
+// field count so a new field cannot be added without a mask bit, and checks
+// each single-field perturbation sets exactly its own bit.
+func TestDiffMaskCoversAllFields(t *testing.T) {
+	rt := reflect.TypeOf(Strategy{})
+	if rt.NumField() != numStrategyFields {
+		t.Fatalf("Strategy has %d fields, FieldMask covers %d — add the bit and DiffMask case",
+			rt.NumField(), numStrategyFields)
+	}
+	base := Strategy{
+		TP: 2, PP: 2, DP: 2, Microbatch: 2, Interleave: 1,
+		Recompute: RecomputeNone, TPOverlap: TPOverlapNone,
+	}
+	if m := DiffMask(base, base); m != 0 {
+		t.Fatalf("DiffMask(x,x) = %b, want 0", m)
+	}
+	perturb := []struct {
+		mut  func(*Strategy)
+		want FieldMask
+	}{
+		{func(s *Strategy) { s.TP = 4 }, FieldTP},
+		{func(s *Strategy) { s.PP = 4 }, FieldPP},
+		{func(s *Strategy) { s.DP = 4 }, FieldDP},
+		{func(s *Strategy) { s.Microbatch = 4 }, FieldMicrobatch},
+		{func(s *Strategy) { s.Interleave = 2 }, FieldInterleave},
+		{func(s *Strategy) { s.OneFOneB = true }, FieldOneFOneB},
+		{func(s *Strategy) { s.Recompute = RecomputeFull }, FieldRecompute},
+		{func(s *Strategy) { s.SeqParallel = true }, FieldSeqParallel},
+		{func(s *Strategy) { s.TPRSAG = true }, FieldTPRSAG},
+		{func(s *Strategy) { s.TPRedoForSP = true }, FieldTPRedoForSP},
+		{func(s *Strategy) { s.TPOverlap = TPOverlapRing }, FieldTPOverlap},
+		{func(s *Strategy) { s.DPOverlap = true }, FieldDPOverlap},
+		{func(s *Strategy) { s.PPRSAG = true }, FieldPPRSAG},
+		{func(s *Strategy) { s.OptimSharding = true }, FieldOptimSharding},
+		{func(s *Strategy) { s.FusedLayers = true }, FieldFusedLayers},
+		{func(s *Strategy) { s.WeightOffload = true }, FieldWeightOffload},
+		{func(s *Strategy) { s.ActOffload = true }, FieldActOffload},
+		{func(s *Strategy) { s.OptimOffload = true }, FieldOptimOffload},
+		{func(s *Strategy) { s.Inference = true }, FieldInference},
+	}
+	if len(perturb) != numStrategyFields {
+		t.Fatalf("perturbation table has %d entries, want %d", len(perturb), numStrategyFields)
+	}
+	for i, p := range perturb {
+		v := base
+		p.mut(&v)
+		got := DiffMask(base, v)
+		if got != p.want {
+			t.Errorf("perturbation %d: DiffMask = %b, want %b", i, got, p.want)
+		}
+		if bits.OnesCount32(uint32(got)) != 1 {
+			t.Errorf("perturbation %d: %d bits set, want 1", i, bits.OnesCount32(uint32(got)))
+		}
+		if got := DiffMask(v, base); got != p.want {
+			t.Errorf("perturbation %d: DiffMask not symmetric", i)
+		}
+	}
+}
+
+func ExampleDiffMask() {
+	a := Strategy{TP: 4, PP: 2, DP: 8, Microbatch: 1, Interleave: 1}
+	b := a
+	b.Recompute = RecomputeFull
+	b.ActOffload = true
+	m := DiffMask(a, b)
+	fmt.Println(m.Has(FieldRecompute), m.Has(FieldActOffload), m.Has(FieldTP))
+	// Output: true true false
+}

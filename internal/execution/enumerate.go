@@ -273,6 +273,19 @@ func (o EnumOptions) forEachSchedule(m model.LLM, s Strategy, yield func(Strateg
 
 // forEachToggle enumerates the optimization switches consistent with the
 // feature set and the validation rules.
+//
+// The walk is a reflected mixed-radix Gray code over the toggle dimensions
+// (recompute, comm combo, TP overlap, DP overlap, optimizer sharding, fused
+// layers, offload combo): instead of restarting every inner dimension when
+// an outer one advances, each dimension sweeps alternately up and down, so
+// two successive strategies always differ in exactly one dimension. The
+// offload dimension is itself a 3-bit Gray sequence, so successive offload
+// combos flip a single switch. Delta evaluation (perf.Runner.RunDelta)
+// exploits this adjacency: the fewer toggles change between neighbors, the
+// more per-strategy terms carry over unrecomputed. Every combination is
+// still emitted exactly once; only the order differs from a plain nested
+// loop. The order is part of the deterministic tie-break sequence, so
+// changing it is a strategy-space version bump (resultstore).
 func (o EnumOptions) forEachToggle(s Strategy, yield func(Strategy) bool) bool {
 	type commCombo struct {
 		rsag, sp, redo, pprsag bool
@@ -312,46 +325,57 @@ func (o EnumOptions) forEachToggle(s Strategy, yield func(Strategy) bool) bool {
 	}
 	offloads := [][3]bool{{false, false, false}}
 	if o.HasMem2 && o.Features == FeatureAll {
-		offloads = nil
-		for w := 0; w < 2; w++ {
-			for a := 0; a < 2; a++ {
-				for op := 0; op < 2; op++ {
-					offloads = append(offloads, [3]bool{w == 1, a == 1, op == 1})
-				}
-			}
+		// 3-bit reflected Gray sequence over (weights, activations,
+		// optimizer): one switch flips per step.
+		offloads = [][3]bool{
+			{false, false, false}, {false, false, true},
+			{false, true, true}, {false, true, false},
+			{true, true, false}, {true, true, true},
+			{true, false, true}, {true, false, false},
 		}
 	}
-	for _, rc := range recomputes {
-		for _, cc := range comms {
-			for _, ov := range tpOverlaps {
-				for _, dov := range dpOverlaps {
-					for _, sh := range shards {
-						for _, fu := range fused {
-							for _, off := range offloads {
-								v := s
-								v.Recompute = rc
-								v.TPRSAG = cc.rsag
-								v.SeqParallel = cc.sp
-								v.TPRedoForSP = cc.redo
-								v.PPRSAG = cc.pprsag
-								v.TPOverlap = ov
-								v.DPOverlap = dov
-								v.OptimSharding = sh
-								v.FusedLayers = fu
-								v.WeightOffload = off[0]
-								v.ActOffload = off[1]
-								v.OptimOffload = off[2]
-								if !yield(v) {
-									return false
-								}
-							}
-						}
-					}
-				}
+	sizes := [7]int{
+		len(recomputes), len(comms), len(tpOverlaps), len(dpOverlaps),
+		len(shards), len(fused), len(offloads),
+	}
+	var idx [7]int
+	dir := [7]int{1, 1, 1, 1, 1, 1, 1}
+	for {
+		cc := comms[idx[1]]
+		off := offloads[idx[6]]
+		v := s
+		v.Recompute = recomputes[idx[0]]
+		v.TPRSAG = cc.rsag
+		v.SeqParallel = cc.sp
+		v.TPRedoForSP = cc.redo
+		v.PPRSAG = cc.pprsag
+		v.TPOverlap = tpOverlaps[idx[2]]
+		v.DPOverlap = dpOverlaps[idx[3]]
+		v.OptimSharding = shards[idx[4]]
+		v.FusedLayers = fused[idx[5]]
+		v.WeightOffload = off[0]
+		v.ActOffload = off[1]
+		v.OptimOffload = off[2]
+		if !yield(v) {
+			return false
+		}
+		// Advance the deepest dimension that can still move in its current
+		// direction, reflecting (reversing) every deeper one that cannot.
+		// When no dimension can move, the space is exhausted.
+		i := len(idx) - 1
+		for i >= 0 {
+			next := idx[i] + dir[i]
+			if next >= 0 && next < sizes[i] {
+				idx[i] = next
+				break
 			}
+			dir[i] = -dir[i]
+			i--
+		}
+		if i < 0 {
+			return true
 		}
 	}
-	return true
 }
 
 // SpaceSize counts the strategies Enumerate would generate without invoking

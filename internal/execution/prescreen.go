@@ -59,10 +59,10 @@ func NewPreScreen(m model.LLM, lim Limits) *PreScreen {
 //calculonvet:ordered
 func (p *PreScreen) Check(st Strategy) error {
 	if st.Procs() > p.lim.Procs {
-		return fmt.Errorf("strategy needs %d procs, system has %d", st.Procs(), p.lim.Procs)
+		return &screenError{kind: screenProcs, need: int64(st.Procs()), have: int64(p.lim.Procs)}
 	}
 	if (st.WeightOffload || st.ActOffload || st.OptimOffload) && p.lim.Mem2 <= 0 {
-		return fmt.Errorf("offloading requires a second memory tier")
+		return &screenError{kind: screenNoMem2}
 	}
 
 	bp := st.BlocksPerProc(p.m)
@@ -102,12 +102,46 @@ func (p *PreScreen) Check(st Strategy) error {
 	}
 
 	if mem1 > p.lim.Mem1 {
-		return fmt.Errorf("mem1 needs at least %v of %v for weights+gradients+optimizer", mem1, p.lim.Mem1)
+		return &screenError{kind: screenMem1, need: int64(mem1), have: int64(p.lim.Mem1)}
 	}
 	if mem2 > p.lim.Mem2 {
-		return fmt.Errorf("mem2 needs at least %v of %v for offloaded weights+gradients+optimizer", mem2, p.lim.Mem2)
+		return &screenError{kind: screenMem2, need: int64(mem2), have: int64(p.lim.Mem2)}
 	}
 	return nil
+}
+
+type screenKind uint8
+
+const (
+	screenProcs screenKind = iota
+	screenNoMem2
+	screenMem1
+	screenMem2
+)
+
+// screenError defers message formatting to Error(): the search path rejects
+// millions of strategies and discards every message, so Check must not pay
+// fmt (and units.Bytes' log10-based rendering) on the hot path. The operands
+// are captured as raw numbers; formatting only happens when someone actually
+// reads the error.
+type screenError struct {
+	kind       screenKind
+	need, have int64
+}
+
+func (e *screenError) Error() string {
+	switch e.kind {
+	case screenProcs:
+		return fmt.Sprintf("strategy needs %d procs, system has %d", e.need, e.have)
+	case screenNoMem2:
+		return "offloading requires a second memory tier"
+	case screenMem1:
+		return fmt.Sprintf("mem1 needs at least %v of %v for weights+gradients+optimizer",
+			units.Bytes(e.need), units.Bytes(e.have))
+	default:
+		return fmt.Sprintf("mem2 needs at least %v of %v for offloaded weights+gradients+optimizer",
+			units.Bytes(e.need), units.Bytes(e.have))
+	}
 }
 
 // CheckTriple reports why every leaf of the (t,p,d) subtree certainly fails

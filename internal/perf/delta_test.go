@@ -1,0 +1,227 @@
+package perf
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"calculon/internal/execution"
+	"calculon/internal/model"
+	"calculon/internal/system"
+	"calculon/internal/units"
+)
+
+// deltaSequences builds strategy sequences that exercise the delta path:
+// the real enumeration order (Gray-adjacent toggles inside each triple, so
+// most steps reuse most groups) and random jumps (every mask bit flips).
+func deltaSequences(t *testing.T, rng *rand.Rand, m model.LLM, opts execution.EnumOptions) [][]execution.Strategy {
+	t.Helper()
+	var enum []execution.Strategy
+	opts.Enumerate(m, func(s execution.Strategy) bool {
+		enum = append(enum, s)
+		return true
+	})
+	if len(enum) == 0 {
+		t.Fatal("enumeration is empty")
+	}
+	jumps := make([]execution.Strategy, 0, 300)
+	for i := 0; i < 300; i++ {
+		jumps = append(jumps, enum[rng.Intn(len(enum))])
+	}
+	if len(enum) > 2000 {
+		enum = enum[:2000]
+	}
+	return [][]execution.Strategy{enum, jumps}
+}
+
+// runScratch evaluates the sequence on the scratch path.
+func runScratch(t *testing.T, r *Runner, seq []execution.Strategy) ([]Result, []RunInfo, []error) {
+	t.Helper()
+	res := make([]Result, len(seq))
+	infos := make([]RunInfo, len(seq))
+	errs := make([]error, len(seq))
+	for i, st := range seq {
+		res[i], infos[i], errs[i] = r.RunDetailed(st)
+	}
+	return res, infos, errs
+}
+
+// runDeltaChain evaluates the sequence on the delta path, threading one
+// chain through the RunInfos.
+func runDeltaChain(t *testing.T, r *Runner, seq []execution.Strategy) ([]Result, []RunInfo, []error) {
+	t.Helper()
+	res := make([]Result, len(seq))
+	infos := make([]RunInfo, len(seq))
+	errs := make([]error, len(seq))
+	var prev RunInfo
+	for i, st := range seq {
+		res[i], prev, errs[i] = r.RunDelta(prev, st)
+		infos[i] = prev
+	}
+	return res, infos, errs
+}
+
+// TestDeltaEqualsScratch is the randomized delta-vs-scratch equivalence
+// property: over real enumeration orders and random jump sequences, for
+// systems with and without a second memory tier, RunDelta must reproduce
+// RunDetailed bit for bit — Result values, feasibility verdicts, error
+// messages, and the PreScreened/CacheHit flags the search counters sum.
+// Each path gets its own fresh Runner so memo warm-up behaves exactly as it
+// would in a pure scratch or pure delta search.
+func TestDeltaEqualsScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		name string
+		m    model.LLM
+		sys  system.System
+		opts execution.EnumOptions
+	}{
+		{
+			name: "seqpar",
+			m:    model.MustPreset("gpt3-13B").WithBatch(32),
+			sys:  system.A100(32),
+			opts: execution.EnumOptions{Procs: 32, Features: execution.FeatureSeqPar, MaxInterleave: 2},
+		},
+		{
+			name: "all-mem2",
+			m:    model.MustPreset("gpt3-13B").WithBatch(16),
+			sys:  system.A100(16).WithMem2(system.DDR5(512 * units.GiB)),
+			opts: execution.EnumOptions{Procs: 16, Features: execution.FeatureAll, HasMem2: true, MaxTP: 8, MaxInterleave: 2},
+		},
+		{
+			name: "tight-mem1",
+			m:    model.MustPreset("gpt3-175B").WithBatch(8),
+			sys:  system.A100(8),
+			opts: execution.EnumOptions{Procs: 8, Features: execution.FeatureAll, MaxInterleave: 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for si, seq := range deltaSequences(t, rng, tc.m, tc.opts) {
+				scratchR, err := NewRunner(tc.m, tc.sys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				deltaR, err := NewRunner(tc.m, tc.sys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sRes, sInfo, sErr := runScratch(t, scratchR, seq)
+				dRes, dInfo, dErr := runDeltaChain(t, deltaR, seq)
+				compareRuns(t, si, seq, sRes, sInfo, sErr, dRes, dInfo, dErr)
+			}
+		})
+	}
+}
+
+// TestDeltaEqualsScratchNoMemoNoScreen re-runs the property with the other
+// escape hatches engaged, covering the counter invariants those modes pin
+// (CacheHits must stay 0 with the memo off; PreScreened must stay 0 with
+// the screen off).
+func TestDeltaEqualsScratchNoMemoNoScreen(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := model.MustPreset("gpt3-13B").WithBatch(16)
+	sys := system.A100(16).WithMem2(system.DDR5(512 * units.GiB))
+	opts := execution.EnumOptions{Procs: 16, Features: execution.FeatureAll, HasMem2: true, MaxTP: 8, MaxInterleave: 2}
+	for _, mode := range []string{"no-memo", "no-prescreen"} {
+		t.Run(mode, func(t *testing.T) {
+			for si, seq := range deltaSequences(t, rng, m, opts) {
+				if len(seq) > 600 {
+					seq = seq[:600] // the no-memo arm recomputes profiles; keep it quick
+				}
+				scratchR, _ := NewRunner(m, sys)
+				deltaR, _ := NewRunner(m, sys)
+				switch mode {
+				case "no-memo":
+					scratchR.DisableMemo()
+					deltaR.DisableMemo()
+				case "no-prescreen":
+					scratchR.DisablePreScreen()
+					deltaR.DisablePreScreen()
+				}
+				sRes, sInfo, sErr := runScratch(t, scratchR, seq)
+				dRes, dInfo, dErr := runDeltaChain(t, deltaR, seq)
+				compareRuns(t, si, seq, sRes, sInfo, sErr, dRes, dInfo, dErr)
+				for i, info := range dInfo {
+					if mode == "no-memo" && info.CacheHit {
+						t.Fatalf("step %d: cache hit with memo disabled", i)
+					}
+					if mode == "no-prescreen" && info.PreScreened {
+						t.Fatalf("step %d: prescreen verdict with screen disabled", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func compareRuns(t *testing.T, si int, seq []execution.Strategy,
+	sRes []Result, sInfo []RunInfo, sErr []error,
+	dRes []Result, dInfo []RunInfo, dErr []error) {
+	t.Helper()
+	for i := range seq {
+		if (sErr[i] == nil) != (dErr[i] == nil) {
+			t.Fatalf("seq %d step %d %+v: scratch err %v, delta err %v", si, i, seq[i], sErr[i], dErr[i])
+		}
+		if sErr[i] != nil {
+			if !errors.Is(dErr[i], ErrInfeasible) {
+				t.Fatalf("seq %d step %d: delta error not ErrInfeasible: %v", si, i, dErr[i])
+			}
+			if sErr[i].Error() != dErr[i].Error() {
+				t.Fatalf("seq %d step %d: error text differs:\nscratch %q\ndelta   %q", si, i, sErr[i], dErr[i])
+			}
+		}
+		if sInfo[i].PreScreened != dInfo[i].PreScreened || sInfo[i].CacheHit != dInfo[i].CacheHit {
+			t.Fatalf("seq %d step %d %+v: info differs: scratch %+v delta %+v",
+				si, i, seq[i], sInfo[i], dInfo[i])
+		}
+		if !reflect.DeepEqual(sRes[i], dRes[i]) {
+			t.Fatalf("seq %d step %d %+v: results differ:\nscratch %+v\ndelta   %+v",
+				si, i, seq[i], sRes[i], dRes[i])
+		}
+	}
+}
+
+// TestRunDeltaForeignChain checks that a RunInfo from one Runner's chain
+// fed into another Runner starts a fresh chain instead of reusing foreign
+// state.
+func TestRunDeltaForeignChain(t *testing.T) {
+	m := model.MustPreset("gpt3-13B").WithBatch(32)
+	a, _ := NewRunner(m, system.A100(32))
+	b, _ := NewRunner(m, system.A100(32).WithMem1Capacity(10*units.TiB))
+	st := execution.Strategy{TP: 4, PP: 2, DP: 4, Microbatch: 1, Interleave: 1}
+	_, info, err := a.RunDelta(RunInfo{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := st
+	st2.Recompute = execution.RecomputeFull
+	got, _, err := b.RunDelta(info, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := b.RunDetailed(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("foreign chain result differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRunDeltaDisabled checks the escape hatch: with DisableDelta the call
+// takes the scratch path and threads no chain.
+func TestRunDeltaDisabled(t *testing.T) {
+	m := model.MustPreset("gpt3-13B").WithBatch(32)
+	r, _ := NewRunner(m, system.A100(32))
+	r.DisableDelta()
+	st := execution.Strategy{TP: 4, PP: 2, DP: 4, Microbatch: 1, Interleave: 1}
+	_, info, err := r.RunDelta(RunInfo{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.delta != nil {
+		t.Fatal("DisableDelta still threaded a delta chain")
+	}
+}

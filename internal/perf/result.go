@@ -22,9 +22,24 @@ import (
 // Search engines count these rather than failing.
 var ErrInfeasible = errors.New("infeasible configuration")
 
+// infeasible builds an ErrInfeasible-wrapped error without formatting the
+// message: search paths reject millions of configurations and read none of
+// the messages, so the fmt work (and the log10-based unit rendering it
+// triggers) is deferred until someone calls Error().
 func infeasible(format string, args ...any) error {
-	return fmt.Errorf("%w: "+format, append([]any{ErrInfeasible}, args...)...)
+	return &infeasibleError{format: format, args: args}
 }
+
+type infeasibleError struct {
+	format string
+	args   []any
+}
+
+func (e *infeasibleError) Error() string {
+	return fmt.Sprintf("%v: "+e.format, append([]any{ErrInfeasible}, e.args...)...)
+}
+
+func (e *infeasibleError) Unwrap() error { return ErrInfeasible }
 
 // TimeBreakdown reports where the batch time went (all values are per batch
 // on the critical path; the Exposed entries are the blocking portions of the

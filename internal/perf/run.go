@@ -50,7 +50,14 @@ type Runner struct {
 	screen      *execution.PreScreen
 	noPreScreen bool
 	noMemo      bool
+	noDelta     bool
 	memo        *sync.Map // blockKey -> *blockProfile; shareable via RunnerGroup
+	graphs      *sync.Map // graphKey -> *pricedGraph; shareable via RunnerGroup
+
+	// Whole-batch useful FLOPs for MFU, precomputed per pass mode — a pure
+	// function of the model, so hoisting it out of the per-strategy path
+	// changes no bits.
+	usefulTrain, usefulInfer units.FLOPs
 }
 
 // NewRunner validates the model and system once and returns an evaluator.
@@ -66,15 +73,27 @@ func NewRunner(m model.LLM, sys system.System) (*Runner, error) {
 
 func newRunner(m model.LLM, sys system.System) *Runner {
 	return &Runner{
-		m:    m,
-		sys:  sys,
-		memo: &sync.Map{},
+		m:      m,
+		sys:    sys,
+		memo:   &sync.Map{},
+		graphs: &sync.Map{},
 		screen: execution.NewPreScreen(m, execution.Limits{
 			Procs: sys.Procs,
 			Mem1:  sys.Mem1.Capacity,
 			Mem2:  sys.Mem2.Capacity,
 		}),
+		usefulTrain: units.FLOPs(float64(m.Batch)) * usefulFLOPsPerSample(m, execution.Strategy{}),
+		usefulInfer: units.FLOPs(float64(m.Batch)) * usefulFLOPsPerSample(m, execution.Strategy{Inference: true}),
 	}
+}
+
+// usefulFLOPs returns the precomputed whole-batch useful FLOP count for the
+// strategy's pass mode.
+func (r *Runner) usefulFLOPs(st execution.Strategy) units.FLOPs {
+	if st.Inference {
+		return r.usefulInfer
+	}
+	return r.usefulTrain
 }
 
 // RunnerGroup builds Runners for system-size variants of one base system
@@ -86,9 +105,10 @@ func newRunner(m model.LLM, sys system.System) *Runner {
 // sweep warms the cache once instead of once per size.
 // TestBlockProfileProcsIndependent guards the key-relevance invariant.
 type RunnerGroup struct {
-	m    model.LLM
-	base system.System
-	memo *sync.Map
+	m      model.LLM
+	base   system.System
+	memo   *sync.Map
+	graphs *sync.Map
 }
 
 // NewRunnerGroup validates the model and base system once and returns a
@@ -100,7 +120,7 @@ func NewRunnerGroup(m model.LLM, base system.System) (*RunnerGroup, error) {
 	if err := base.Validate(); err != nil {
 		return nil, err
 	}
-	return &RunnerGroup{m: m, base: base, memo: &sync.Map{}}, nil
+	return &RunnerGroup{m: m, base: base, memo: &sync.Map{}, graphs: &sync.Map{}}, nil
 }
 
 // RunnerFor returns a Runner for the group's model on sys, serving block
@@ -122,6 +142,7 @@ func (g *RunnerGroup) RunnerFor(sys system.System) (*Runner, error) {
 	}
 	r := newRunner(g.m, sys)
 	r.memo = g.memo
+	r.graphs = g.graphs
 	return r, nil
 }
 
@@ -146,6 +167,11 @@ type RunInfo struct {
 	// CacheHit is true when the per-block profile was served from the memo
 	// rather than recomputed.
 	CacheHit bool
+
+	// delta carries the evaluation chain RunDelta threads from call to
+	// call; nil on the scratch path. Opaque to callers: pass the RunInfo
+	// back to the next RunDelta unmodified.
+	delta *deltaState
 }
 
 // Run evaluates one strategy; see the package-level Run.
@@ -227,7 +253,7 @@ func (r *Runner) run(st execution.Strategy) (Result, RunInfo, error) {
 		OffloadBWUsed:     e.offloadBWUsed,
 		ProcsUsed:         st.Procs(),
 	}
-	useful := units.FLOPs(float64(m.Batch)) * usefulFLOPsPerSample(m, st)
+	useful := r.usefulFLOPs(st)
 	peak := float64(st.Procs()) * float64(sys.Compute.MatrixPeak)
 	res.MFU = float64(useful) / (float64(batch) * peak)
 	return res, info, nil
@@ -294,39 +320,122 @@ func shardFor(st execution.Strategy) layers.Shard {
 	}
 }
 
-// computeProfile builds the block layer graph and times one microbatch
-// through it: forward, backward, and the recompute portion selected by the
-// strategy.
-func computeProfile(m model.LLM, sys system.System, st execution.Strategy) blockProfile {
+// graphKey is blockKey minus the recompute mode: exactly the layers.Shard
+// fields. The layer graph and its per-layer op pricing never read the
+// recompute mode — it only selects which already-priced forward terms are
+// replayed — so the three recompute variants of one shard share a single
+// priced graph.
+type graphKey struct {
+	tp          int
+	microbatch  int
+	seqParallel bool
+	tpRedo      bool
+	fused       bool
+	inference   bool
+}
+
+// pricedGraph is the expensive, recompute-independent part of a block
+// profile: the layer graph built and every op priced through the §2.2
+// processing model (the log-shaped efficiency curves live here), with the
+// forward sums pre-accumulated both over all layers and over the attention
+// group. Deriving a blockProfile from it is a constant-time copy, so pricing
+// happens once per shard instead of once per (shard, recompute) pair.
+type pricedGraph struct {
+	tot           layers.Totals
+	boundaryBytes units.Bytes
+
+	fwd, bwd           units.Seconds
+	fwdSlack, bwdSlack units.Seconds
+	attnFwd, attnSlack units.Seconds
+}
+
+// priceGraph builds the block layer graph for the strategy's shard and times
+// one microbatch through it. The per-field accumulation visits layers in
+// graph order, matching the historical single-pass loop term for term, so
+// every derived blockProfile is bit-identical to what that loop produced.
+func priceGraph(m model.LLM, sys system.System, st execution.Strategy) pricedGraph {
 	sh := shardFor(st)
 	ls := layers.Block(m, sh)
-	p := blockProfile{
+	g := pricedGraph{
 		tot:           layers.Sum(ls),
 		boundaryBytes: layers.BlockInputBytes(m, sh),
 	}
-	for _, l := range ls {
+	for i := range ls {
+		l := &ls[i]
 		ft, fs := opTime(sys, l.Engine, l.FLOPs, l.Traffic)
-		p.fwd += ft
-		p.fwdSlack += fs
+		g.fwd += ft
+		g.fwdSlack += fs
 		bt, bs := opTime(sys, l.Engine, l.BwdFLOPs, l.BwdTraffic)
-		p.bwd += bt
-		p.bwdSlack += bs
-		switch st.Recompute {
-		case execution.RecomputeFull:
-			p.recompute += ft
-			p.rcSlack += fs
-		case execution.RecomputeAttn:
-			if l.AttnGroup {
-				p.recompute += ft
-				p.rcSlack += fs
-			}
+		g.bwd += bt
+		g.bwdSlack += bs
+		if l.AttnGroup {
+			g.attnFwd += ft
+			g.attnSlack += fs
 		}
+	}
+	return g
+}
+
+// profileFrom selects the recompute portion out of a priced graph: full
+// recompute replays the whole forward pass, attention-only recompute replays
+// the attention group, and no recompute replays nothing.
+func profileFrom(g *pricedGraph, mode execution.RecomputeMode) blockProfile {
+	p := blockProfile{
+		tot:           g.tot,
+		boundaryBytes: g.boundaryBytes,
+		fwd:           g.fwd,
+		bwd:           g.bwd,
+		fwdSlack:      g.fwdSlack,
+		bwdSlack:      g.bwdSlack,
+	}
+	switch mode {
+	case execution.RecomputeFull:
+		p.recompute, p.rcSlack = g.fwd, g.fwdSlack
+	case execution.RecomputeAttn:
+		p.recompute, p.rcSlack = g.attnFwd, g.attnSlack
 	}
 	return p
 }
 
+// computeProfile builds the block layer graph and times one microbatch
+// through it: forward, backward, and the recompute portion selected by the
+// strategy.
+func computeProfile(m model.LLM, sys system.System, st execution.Strategy) blockProfile {
+	g := priceGraph(m, sys, st)
+	return profileFrom(&g, st.Recompute)
+}
+
+// graph returns the priced layer graph for the strategy's shard, from the
+// graph memo when possible.
+func (r *Runner) graph(st execution.Strategy) *pricedGraph {
+	k := graphKey{
+		tp:          st.TP,
+		microbatch:  st.Microbatch,
+		seqParallel: st.SeqParallel,
+		tpRedo:      st.TPRedoForSP,
+		fused:       st.FusedLayers,
+		inference:   st.Inference,
+	}
+	if v, ok := r.graphs.Load(k); ok {
+		return v.(*pricedGraph)
+	}
+	g := priceGraph(r.m, r.sys, st)
+	v, _ := r.graphs.LoadOrStore(k, &g)
+	return v.(*pricedGraph)
+}
+
 // profile returns the block profile for the strategy, from the memo when
-// possible, and reports whether it was a cache hit.
+// possible, and reports whether it was a cache hit. A blockKey miss that
+// hits the graph memo still reports a miss — the hit flag tracks the
+// profile memo, whose semantics the stats and search counters pin — but
+// skips the graph build and op pricing, which is where nearly all of the
+// profile cost lives.
+//
+// The hit flag must be deterministic across worker counts and scheduling
+// (the search counters it feeds are pinned bit-identical by equivalence
+// tests), so each distinct key reports exactly one miss: when two workers
+// race to first-compute a key, LoadOrStore publishes one profile and the
+// loser reports a hit — the same totals a serial run would count.
 func (r *Runner) profile(st execution.Strategy) (*blockProfile, bool) {
 	if r.noMemo {
 		p := computeProfile(r.m, r.sys, st)
@@ -336,9 +445,9 @@ func (r *Runner) profile(st execution.Strategy) (*blockProfile, bool) {
 	if v, ok := r.memo.Load(k); ok {
 		return v.(*blockProfile), true
 	}
-	p := computeProfile(r.m, r.sys, st)
-	v, _ := r.memo.LoadOrStore(k, &p)
-	return v.(*blockProfile), false
+	p := profileFrom(r.graph(st), st.Recompute)
+	v, loaded := r.memo.LoadOrStore(k, &p)
+	return v.(*blockProfile), loaded
 }
 
 // eval carries the intermediate quantities of one evaluation. It is a plain
@@ -425,7 +534,7 @@ func (e *eval) tensorComm() {
 	if t <= 1 {
 		return
 	}
-	net := e.sys.NetworkFor(t)
+	net := e.sys.NetworkPtrFor(t)
 	full := units.Bytes(float64(e.st.Microbatch)*float64(e.m.Seq)*float64(e.m.Hidden)) * 2
 
 	var fwd, bwd units.Seconds
@@ -469,12 +578,12 @@ func (e *eval) pipelineComm() {
 	if p <= 1 {
 		return
 	}
-	net := e.sys.NetworkFor(e.st.TP * p)
+	net := e.sys.NetworkPtrFor(e.st.TP * p)
 	bytes := e.boundaryBytes
 	var reassemble units.Seconds
 	if e.st.PPRSAG && !e.st.SeqParallel && e.st.TP > 1 {
 		bytes /= units.Bytes(e.st.TP)
-		tpNet := e.sys.NetworkFor(e.st.TP)
+		tpNet := e.sys.NetworkPtrFor(e.st.TP)
 		reassemble = comm.Time(tpNet, comm.AllGather, e.st.TP, e.boundaryBytes)
 	}
 	hop := comm.Time(net, comm.P2P, 2, bytes) + reassemble
@@ -495,7 +604,7 @@ func (e *eval) dataComm() {
 	if d <= 1 || e.st.Inference {
 		return
 	}
-	net := e.sys.NetworkFor(e.st.TP * e.st.PP * d)
+	net := e.sys.NetworkPtrFor(e.st.TP * e.st.PP * d)
 	grads := e.tot.WeightBytes * units.Bytes(e.bp)
 
 	var overlappable, gather units.Seconds

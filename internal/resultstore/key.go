@@ -19,7 +19,12 @@ import (
 // hit the rows a single machine wrote. The Disable* evaluation switches
 // leave Best/Top/Pareto untouched but change the diagnostic counters, so
 // they are part of the identity — a cached verdict always reproduces the
-// counters the same search would have reported live.
+// counters the same search would have reported live. DisableDelta is the
+// exception and is deliberately absent: the delta path reproduces results
+// AND counters bit-identically (the no-delta equivalence arm pins this), so
+// both spellings are the same search. Shard coordinates never reach the key
+// either — sharded runs bypass the store; only whole merged searches have a
+// store identity.
 //
 // The payload is serialized with encoding/json, which emits struct fields
 // in declaration order and sorts map keys, so the encoding — and therefore

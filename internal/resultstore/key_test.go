@@ -28,6 +28,33 @@ func normalizedOpts(sys system.System) search.Options {
 	}
 }
 
+// TestKeyIgnoresDeltaAndScheduling: options proven result-AND-counter
+// neutral must not reach the key — a verdict computed with delta evaluation
+// (the default), without it, or under any worker count is the same search
+// and must hit the same rows.
+func TestKeyIgnoresDeltaAndScheduling(t *testing.T) {
+	m := model.MustPreset("gpt3-13B")
+	sys := system.A100(64)
+	base, err := Key(m, sys, normalizedOpts(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*search.Options){
+		func(o *search.Options) { o.DisableDelta = true },
+		func(o *search.Options) { o.Workers = 7 },
+	} {
+		o := normalizedOpts(sys)
+		mutate(&o)
+		k, err := Key(m, sys, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != base {
+			t.Errorf("result-neutral option changed the key: %s vs %s", k, base)
+		}
+	}
+}
+
 // TestKeyStableAcrossFieldOrder: the canonical hash must not depend on the
 // field order of the JSON files the inputs were loaded from. Two spellings
 // of the same model with fields in opposite orders must map to one key.
@@ -105,26 +132,26 @@ func TestKeyStableAcrossMapIteration(t *testing.T) {
 // renaming a JSON tag, or tweaking the encoder.
 func TestKeyGoldenShippedConfigs(t *testing.T) {
 	golden := map[string]string{
-		"chinchilla-70B/a100-80g":        "dd161b8008cb78965ab5c725df2a0b62b6231d704a990f3752e9efb41e603ad7",
-		"chinchilla-70B/h100-80g-ddr512": "eb47fc3b0608004077ae1fb967fd1303a63c14a94015104574fcbc084ce8c79d",
-		"gpt2-1.5B/a100-80g":             "4ed82206d149f2018488f8d2aba2e9d4d1eecb947abcc55a5e0bc36b717e03b1",
-		"gpt2-1.5B/h100-80g-ddr512":      "8489c9a8e46064b71edfd84ecdcbefbc1cb4f53ba731c106ebb4e8acae3c0102",
-		"gpt3-13B/a100-80g":              "460837c6b513704fc5b3c5b1d19eea085bfa7447615a9e0b8b8dc58fbccd6d95",
-		"gpt3-13B/h100-80g-ddr512":       "4d3d309feb1ea2f2668601d0d016d24428019ac24f0f92345e1cb61026b662c0",
-		"gpt3-175B/a100-80g":             "c5797506f9e29cad5d28e1b55dd077a32a8f97f4eccbd06dd47db5d3947acc74",
-		"gpt3-175B/h100-80g-ddr512":      "1c97c7f3596951e3e38fefd7035feee4b012713f1bc718261419e8b455a2aea2",
-		"gpt3-6.7B/a100-80g":             "51d7df11346ac7d57fcf39f366c70b25307887e26ff62bcced32c9c838c6a4df",
-		"gpt3-6.7B/h100-80g-ddr512":      "e2fba6214ef1fa5435c73ef7faf7e606856695e5096e7ed269e01ceea2478cca",
-		"llama-65B/a100-80g":             "b270f2359681de7034e272efbdfede7b3165209d675f3974a10eef28178ac851",
-		"llama-65B/h100-80g-ddr512":      "ec490584f7e229cdc9517246dc93d329dae0d2d55dbfa415b7f59a486d9da781",
-		"megatron-1T/a100-80g":           "6504717f7fa3fc689d31a4de90f144a05507f49a348865104ef3d3cd531fbbd9",
-		"megatron-1T/h100-80g-ddr512":    "92f88fd8014932f75c95662ae1447b07795f0449101c5fc4fd39b26af0ff16d3",
-		"megatron-22B/a100-80g":          "8497c58896056a95eab2bfa3df50d8c195db9e06c7e356ea5bb26f608ce43d31",
-		"megatron-22B/h100-80g-ddr512":   "63c212e1da81b62bb8b9f764a7764800f0f8420d70c3d4eb4a3feeeda880d0eb",
-		"palm-540B/a100-80g":             "5275d2725c5b4cb0f2d5d90114d951ff19f132da733e4fde73fb9d1869217f1e",
-		"palm-540B/h100-80g-ddr512":      "90a012820ab170e466659bb7f034fa55a872df6b0d1883c228674e6a42693cba",
-		"turing-530B/a100-80g":           "2fcac3c5d672474dfe2a8fdc79808acda2a426efc923868bf7592bde6985974c",
-		"turing-530B/h100-80g-ddr512":    "f30c701014655a99511618e3ca04b658a130467473b5dde1b6306f68906fef2c",
+		"chinchilla-70B/a100-80g":        "4d55ca6036bb5a077565424a0afea490101ff3deaf33c336f83bc5bbc0621a9a",
+		"chinchilla-70B/h100-80g-ddr512": "1f56dad56897b3fff654f2ca7573a7dd3a1ff154a921e225d743250a1b9021b4",
+		"gpt2-1.5B/a100-80g":             "240520c997cc6cfbf213004fc60a343f42f01e5b5ac49ed6daa7a622516d8b04",
+		"gpt2-1.5B/h100-80g-ddr512":      "a5e58732f45a5fa45d7d2b0531e8d540da8718c6319beba368b4fb46568d0e79",
+		"gpt3-13B/a100-80g":              "9f9c4f7e534275b2b8fb3dd760762f7c3d944eb4fbeaaa00abcff0a73b866ab4",
+		"gpt3-13B/h100-80g-ddr512":       "256d5fb2776835c993e5e1680194da52831e4cda32beef0422a18989c4b2a99a",
+		"gpt3-175B/a100-80g":             "87bbb5d6db4fca6c2b4159baac09bb80160ef76181e68108cd952bf020979423",
+		"gpt3-175B/h100-80g-ddr512":      "37b01755c2f08c569af9a1e74fb880def46caaa8bb92760b4e14cb9da6317eec",
+		"gpt3-6.7B/a100-80g":             "fc917a43decf822339ff4f25756e8df67fbbb82a0247cd9199d86aad8e5c3b39",
+		"gpt3-6.7B/h100-80g-ddr512":      "20166a9fbfac0069c48f272c9ec6ffbc7934b15f166e8f59b5b35eb7347d17b4",
+		"llama-65B/a100-80g":             "5f8842eeb6bae85b8dbb8e2a2d44a06d268472513d56f18160406a18f21bb774",
+		"llama-65B/h100-80g-ddr512":      "b90769354aca278eba15ab0e372ee95860b23fb65ed9d2fd3881985627cbbc24",
+		"megatron-1T/a100-80g":           "282c18a32f8f07ba8e7ce084953955c2cf0434517331d7cd66881657a831c3c4",
+		"megatron-1T/h100-80g-ddr512":    "796025ead1e7ef9bbb36be9927a384934b6dbb0e5ce9965b952b048fd6bad259",
+		"megatron-22B/a100-80g":          "73a12b5f36f383b545ccc7b933b10a1fc4b4fde3c0727a797142192958561f26",
+		"megatron-22B/h100-80g-ddr512":   "833c88eeee51ef1d6104e21572085101bd9a49f08224f60b687641916d067141",
+		"palm-540B/a100-80g":             "b5f34a995e56fe829becc6dd4e4a4e9cd7cedb53507e3b0e765ef612862e274d",
+		"palm-540B/h100-80g-ddr512":      "949993af8690ef0f469d5843cd0b655e2e05827f104435e99f47f2945c1e3f76",
+		"turing-530B/a100-80g":           "00014b01a47fb4f339ab25da3697bd280f190ec0601aeb9c2cfc2d6eec834769",
+		"turing-530B/h100-80g-ddr512":    "dac5dea9ded6cdc0a2e8c5abee17f7fdc92ea1df0517e120e61a1aa7fa37c4fc",
 	}
 	for _, mc := range []string{
 		"chinchilla-70B", "gpt2-1.5B", "gpt3-13B", "gpt3-175B", "gpt3-6.7B",

@@ -37,7 +37,13 @@ const (
 	// in a result-visible way; rows stamped with an older version become
 	// stale and are skipped at load time (cache invalidation), never served.
 	// It is part of the canonical key, so old and new rows cannot collide.
-	StrategySpaceVersion = 1
+	//
+	// Version 2: the toggle enumeration inside each (tp,pp,dp) triple became
+	// a reflected Gray-code walk (one toggle flips per step, feeding delta
+	// evaluation), which renumbers the deterministic tie-break sequence —
+	// equal-rate strategies can now resolve to a different winner than
+	// version-1 rows recorded.
+	StrategySpaceVersion = 2
 )
 
 // Row is one committed search verdict: the envelope (schema/space versions,

@@ -9,14 +9,32 @@ import (
 	"calculon/internal/system"
 )
 
-// BenchmarkExecutionSearch measures end-to-end search throughput — the
-// paper's headline capability ("millions of combinations in only a few
-// minutes on a standard desktop computer"). The strategies-per-second
-// metric is the number to watch.
+// BenchmarkExecutionSearch measures end-to-end search throughput on the
+// scratch path (incremental evaluation disabled) — the paper's headline
+// capability ("millions of combinations in only a few minutes on a standard
+// desktop computer"). The strategies-per-second metric is the number to
+// watch; BenchmarkExecutionSearchDelta runs the identical search on the
+// default delta path, so the ratio of the two keeps the delta win honest
+// the same way the sweep/no-prune pair does for the lattice prune.
 func BenchmarkExecutionSearch(b *testing.B) {
+	benchExecutionSearch(b, true)
+}
+
+// BenchmarkExecutionSearchDelta is the identical search on the default
+// path: each worker threads a perf.RunDelta chain through the Gray-code-
+// adjacent toggle order, recomputing only the term groups each flipped
+// toggle can perturb.
+func BenchmarkExecutionSearchDelta(b *testing.B) {
+	benchExecutionSearch(b, false)
+}
+
+func benchExecutionSearch(b *testing.B, disableDelta bool) {
 	m := model.MustPreset("gpt3-13B").WithBatch(64)
 	sys := system.A100(64)
-	opts := Options{Enum: execution.EnumOptions{Procs: 64, Features: execution.FeatureSeqPar, MaxInterleave: 2}}
+	opts := Options{
+		Enum:         execution.EnumOptions{Procs: 64, Features: execution.FeatureSeqPar, MaxInterleave: 2},
+		DisableDelta: disableDelta,
+	}
 	var evaluated int
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -72,11 +72,16 @@ func TestTwoPhaseEquivalence(t *testing.T) {
 			// pins the per-leaf and per-subtree accounting to each other,
 			// PreScreened included.
 			{"no-subtree-prune", false, false},
+			// Everything on except incremental evaluation: every worker takes
+			// the scratch path, pinning the delta chains (the default) to it
+			// bit for bit — results and counters both.
+			{"no-delta", false, false},
 		} {
 			o := opts
 			o.DisablePreScreen = ref.noScreen
 			o.DisableMemo = ref.noMemo
 			o.DisableSubtreePrune = ref.name == "no-subtree-prune"
+			o.DisableDelta = ref.name == "no-delta"
 			o.Workers = 1 + rng.Intn(4)
 			slow, err := Execution(context.Background(), m, sys, o)
 			if err != nil {
@@ -116,6 +121,11 @@ func TestTwoPhaseEquivalence(t *testing.T) {
 			if ref.name == "no-subtree-prune" && fast.PreScreened != slow.PreScreened {
 				t.Errorf("draw %d (%s): pre-screened diverges: %d with subtree pruning vs %d without",
 					i, ref.name, fast.PreScreened, slow.PreScreened)
+			}
+			if ref.name == "no-delta" &&
+				(fast.PreScreened != slow.PreScreened || fast.SubtreePruned != slow.SubtreePruned) {
+				t.Errorf("draw %d (%s): counters diverge between delta and scratch: (%d,%d) vs (%d,%d)",
+					i, ref.name, fast.PreScreened, fast.SubtreePruned, slow.PreScreened, slow.SubtreePruned)
 			}
 		}
 		// The fast path's counters must be internally consistent: pre-screened

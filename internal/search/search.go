@@ -80,6 +80,14 @@ type Options struct {
 	// them. Results and counters are identical either way (locked in by the
 	// equivalence property tests), only slower with the pruning off.
 	DisableSubtreePrune bool
+	// DisableDelta turns off incremental evaluation: each worker normally
+	// threads a perf.RunDelta chain through its strategies, reusing the
+	// term groups the Gray-code-adjacent toggle order leaves unchanged from
+	// one leaf to the next, and this falls back to the scratch path
+	// (RunDetailed) instead. Results and counters are identical either way
+	// (locked in by the delta equivalence tests and the no-delta arm of the
+	// search equivalence suite), only slower with delta off.
+	DisableDelta bool
 
 	// Cache, when non-nil, is a persistent store of finished search verdicts
 	// (see internal/resultstore). It is consulted once per search, after
@@ -186,25 +194,9 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := m.Validate(); err != nil {
+	opts, err := normalizeOptions(m, sys, opts)
+	if err != nil {
 		return Result{}, err
-	}
-	if err := sys.Validate(); err != nil {
-		return Result{}, err
-	}
-	if opts.Enum.Procs == 0 {
-		opts.Enum.Procs = sys.Procs
-	}
-	if err := opts.Enum.Validate(); err != nil {
-		return Result{}, err
-	}
-	if opts.Enum.Features == "" {
-		opts.Enum.Features = execution.FeatureAll
-	}
-	opts.Enum.HasMem2 = sys.Mem2.Present()
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 
 	prog := opts.Progress
@@ -247,12 +239,62 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 		}()
 	}
 
+	merged, subtreePruned, err := executionScored(ctx, m, sys, opts, prog, opts.Enum.Triples(m), 0)
+	if err != nil {
+		return Result{}, err
+	}
+	out := resultFrom(merged, subtreePruned, opts)
+	if useStore && ctx.Err() == nil {
+		// Only complete verdicts are stored: a cancelled walk's counters and
+		// fronts cover an unpredictable prefix of the space.
+		opts.Cache.Store(m, sys, opts, out)
+	}
+	return out, ctx.Err()
+}
+
+// normalizeOptions validates the inputs and fills the option defaults. Both
+// the plain and the sharded search run it, so the same search always walks
+// the same triples in the same global sequence regardless of how it is
+// split.
+func normalizeOptions(m model.LLM, sys system.System, opts Options) (Options, error) {
+	if err := m.Validate(); err != nil {
+		return opts, err
+	}
+	if err := sys.Validate(); err != nil {
+		return opts, err
+	}
+	if opts.Enum.Procs == 0 {
+		opts.Enum.Procs = sys.Procs
+	}
+	if err := opts.Enum.Validate(); err != nil {
+		return opts, err
+	}
+	if opts.Enum.Features == "" {
+		opts.Enum.Features = execution.FeatureAll
+	}
+	opts.Enum.HasMem2 = sys.Mem2.Present()
+	return opts, nil
+}
+
+// executionScored is the engine room shared by Execution and
+// ExecutionShard: it runs the worker pool and the lattice producer over a
+// contiguous run of (tp,pp,dp) triples and returns the merged per-worker
+// state (with global sequence numbers, the deterministic tie-break key)
+// plus the closed-form count of subtree-pruned leaves, both already folded
+// into the counters. seqBase is the global sequence number of the first
+// leaf of triples — the leaf count of everything before the range — so a
+// shard scores its strategies exactly as the single-process walk would.
+func executionScored(ctx context.Context, m model.LLM, sys system.System, opts Options, prog *Progress, triples [][3]int, seqBase int) (workerState, int, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	runner := opts.sharedRunner
 	if runner == nil {
 		var err error
 		runner, err = perf.NewRunner(m, sys)
 		if err != nil {
-			return Result{}, err
+			return workerState{}, 0, err
 		}
 		if opts.DisablePreScreen {
 			runner.DisablePreScreen()
@@ -260,12 +302,21 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 		if opts.DisableMemo {
 			runner.DisableMemo()
 		}
+		if opts.DisableDelta {
+			runner.DisableDelta()
+		}
 	}
 	chunks := make(chan *[]indexed, workers)
 	results := make(chan workerState, workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			ws := workerState{topK: opts.TopK, pareto: opts.Pareto}
+			// Each worker threads one delta chain through its strategies:
+			// inside a chunk the Gray-code toggle order makes neighbors
+			// differ in a single toggle, so most term groups carry over.
+			// The chain is goroutine-local; the Runner stays shared.
+			var chain perf.RunInfo
+			var res perf.Result
 			for chunk := range chunks {
 				// After cancellation, keep draining so the producer's sends
 				// and close always complete, but stop evaluating.
@@ -273,10 +324,12 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 					chunkPool.Put(chunk)
 					continue
 				}
-				before := ws
+				evalBefore, feasBefore := ws.evaluated, ws.feasible
+				preBefore, hitBefore := ws.prescreened, ws.cacheHits
 				for _, it := range *chunk {
 					ws.evaluated++
-					res, info, err := runner.RunDetailed(it.st)
+					info, err := runner.RunDeltaInto(chain, it.st, &res)
+					chain = info
 					if info.PreScreened {
 						ws.prescreened++
 					}
@@ -286,15 +339,15 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 					if err != nil {
 						continue
 					}
-					ws.add(scored{it.seq, res}, opts.CollectRates)
+					ws.add(it.seq, &res, opts.CollectRates)
 				}
 				chunkPool.Put(chunk)
 				if prog != nil {
 					prog.add(progressDelta{
-						evaluated:   int64(ws.evaluated - before.evaluated),
-						feasible:    int64(ws.feasible - before.feasible),
-						prescreened: int64(ws.prescreened - before.prescreened),
-						cacheHits:   int64(ws.cacheHits - before.cacheHits),
+						evaluated:   int64(ws.evaluated - evalBefore),
+						feasible:    int64(ws.feasible - feasBefore),
+						prescreened: int64(ws.prescreened - preBefore),
+						cacheHits:   int64(ws.cacheHits - hitBefore),
 					})
 				}
 			}
@@ -316,9 +369,9 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 		})
 	}
 	buf := newChunk()
-	seq := 0
+	seq := seqBase
 	subtreePruned := 0
-	for _, tpd := range opts.Enum.Triples(m) {
+	for _, tpd := range triples {
 		if ctx.Err() != nil {
 			break
 		}
@@ -368,7 +421,12 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 	}
 	merged.evaluated += subtreePruned
 	merged.prescreened += subtreePruned
+	return merged, subtreePruned, nil
+}
 
+// resultFrom converts the merged worker state into the exported Result,
+// dropping the sequence numbers after the final deterministic ordering.
+func resultFrom(merged workerState, subtreePruned int, opts Options) Result {
 	out := Result{
 		Evaluated:     merged.evaluated,
 		Feasible:      merged.feasible,
@@ -389,12 +447,7 @@ func Execution(ctx context.Context, m model.LLM, sys system.System, opts Options
 			}
 		}
 	}
-	if useStore && ctx.Err() == nil {
-		// Only complete verdicts are stored: a cancelled walk's counters and
-		// fronts cover an unpredictable prefix of the space.
-		opts.Cache.Store(m, sys, opts, out)
-	}
-	return out, ctx.Err()
+	return out
 }
 
 // startProgressTicker runs cb about every interval until the returned stop
@@ -440,7 +493,11 @@ type workerState struct {
 	front       []scored
 }
 
-func (ws *workerState) add(s scored, collectRates bool) {
+// add records one feasible result. The result is passed by pointer so the
+// hot loop's single reused Result is copied only into the slices that keep
+// it, not through a parameter frame per call.
+func (ws *workerState) add(seq int, res *perf.Result, collectRates bool) {
+	s := scored{seq, *res}
 	ws.feasible++
 	if !ws.hasBest || better(s, ws.best) {
 		ws.best = s
@@ -602,6 +659,9 @@ func SystemSize(ctx context.Context, m model.LLM, sysAt func(procs int) system.S
 				if r, err := group.RunnerFor(sys); err == nil {
 					if o.DisablePreScreen {
 						r.DisablePreScreen()
+					}
+					if o.DisableDelta {
+						r.DisableDelta()
 					}
 					o.sharedRunner = r
 				}

@@ -76,6 +76,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.limited(s.handleStatus))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.limited(s.handleResult))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.limited(s.handleCancel))
+	s.mux.HandleFunc("GET /v1/store", s.limited(s.handleStore))
 	return s
 }
 
@@ -214,6 +215,45 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// StoreStatus is the wire form of the persistent result store's state: the
+// same counters /metrics exposes, plus the backing file's path, as JSON for
+// operators and scripts. Read-only — the endpoint never mutates the store.
+type StoreStatus struct {
+	// Enabled is false when the daemon runs without a store (-store ""); all
+	// other fields are zero in that case.
+	Enabled        bool   `json:"enabled"`
+	Path           string `json:"path,omitempty"`
+	Rows           int    `json:"rows"`
+	Loaded         int    `json:"loaded"`
+	Stale          int    `json:"stale"`
+	RecoveredBytes int    `json:"recovered_bytes"`
+	Hits           int64  `json:"hits"`
+	Misses         int64  `json:"misses"`
+	Appends        int64  `json:"appends"`
+	Flushes        int64  `json:"flushes"`
+}
+
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	store := s.man.store
+	if store == nil {
+		writeJSON(w, http.StatusOK, StoreStatus{})
+		return
+	}
+	st := store.Stats()
+	writeJSON(w, http.StatusOK, StoreStatus{
+		Enabled:        true,
+		Path:           store.Path(),
+		Rows:           st.Rows,
+		Loaded:         st.Loaded,
+		Stale:          st.Stale,
+		RecoveredBytes: st.RecoveredBytes,
+		Hits:           st.Hits,
+		Misses:         st.Misses,
+		Appends:        st.Appends,
+		Flushes:        st.Flushes,
+	})
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

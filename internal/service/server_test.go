@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"strings"
+
+	"calculon/internal/resultstore"
 	"testing"
 	"time"
 )
@@ -387,4 +390,42 @@ func TestDrainLetsRunningJobsFinish(t *testing.T) {
 		t.Fatalf("job after graceful drain: %s (err %q), want done", got.State, got.Error)
 	}
 	waitForGoroutines(t, baseline)
+}
+
+// TestStoreEndpoint: /v1/store reports the persistent store's counters and
+// path, and degrades to enabled=false when the daemon runs without one.
+func TestStoreEndpoint(t *testing.T) {
+	// No store configured.
+	bare := newTestServer(t, Config{Workers: 1, MaxRunning: 1, QueueDepth: 4})
+	var off StoreStatus
+	if rec := do(t, bare, "GET", "/v1/store", "", &off); rec.Code != http.StatusOK {
+		t.Fatalf("store status without store: %d", rec.Code)
+	}
+	if off.Enabled || off.Path != "" || off.Rows != 0 {
+		t.Fatalf("storeless daemon reports %+v, want all-zero", off)
+	}
+
+	// With a store: run a job, rerun it from cache, watch the counters.
+	store, err := resultstore.Open(filepath.Join(t.TempDir(), "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	s := newTestServer(t, Config{Workers: 1, MaxRunning: 1, QueueDepth: 4, Store: store})
+
+	live := submit(t, s, smallSpec())
+	waitState(t, s, live.ID, StateDone)
+	rerun := submit(t, s, smallSpec())
+	waitState(t, s, rerun.ID, StateDone)
+
+	var st StoreStatus
+	if rec := do(t, s, "GET", "/v1/store", "", &st); rec.Code != http.StatusOK {
+		t.Fatalf("store status: %d", rec.Code)
+	}
+	if !st.Enabled || st.Path != store.Path() {
+		t.Fatalf("store status = %+v, want enabled at %s", st, store.Path())
+	}
+	if st.Rows != 1 || st.Hits != 1 || st.Misses != 1 || st.Appends != 1 {
+		t.Fatalf("store status = %+v, want 1 row / 1 hit / 1 miss / 1 append", st)
+	}
 }

@@ -79,14 +79,15 @@ type Compute struct {
 }
 
 // MatrixRate returns the achievable matrix throughput for an op of the given
-// FLOP count.
-func (c Compute) MatrixRate(flops units.FLOPs) units.FLOPsPerSec {
+// FLOP count. The pointer receiver keeps the per-op hot path from copying
+// the embedded efficiency curves on every call.
+func (c *Compute) MatrixRate(flops units.FLOPs) units.FLOPsPerSec {
 	return units.FLOPsPerSec(float64(c.MatrixPeak) * c.MatrixEff.At(float64(flops)))
 }
 
 // VectorRate returns the achievable vector throughput for an op of the given
 // FLOP count.
-func (c Compute) VectorRate(flops units.FLOPs) units.FLOPsPerSec {
+func (c *Compute) VectorRate(flops units.FLOPs) units.FLOPsPerSec {
 	return units.FLOPsPerSec(float64(c.VectorPeak) * c.VectorEff.At(float64(flops)))
 }
 
@@ -102,7 +103,8 @@ type Memory struct {
 func (m Memory) Present() bool { return m.Capacity > 0 }
 
 // AccessTime returns the time to stream the given bytes through this tier.
-func (m Memory) AccessTime(b units.Bytes) units.Seconds {
+// Pointer receiver: called per priced op, so the receiver copy matters.
+func (m *Memory) AccessTime(b units.Bytes) units.Seconds {
 	if b <= 0 {
 		return 0
 	}
@@ -110,7 +112,7 @@ func (m Memory) AccessTime(b units.Bytes) units.Seconds {
 }
 
 // EffectiveBandwidth is the size-derated bandwidth for an access of b bytes.
-func (m Memory) EffectiveBandwidth(b units.Bytes) units.BytesPerSec {
+func (m *Memory) EffectiveBandwidth(b units.Bytes) units.BytesPerSec {
 	if m.Bandwidth.IsUnbounded() {
 		return m.Bandwidth
 	}
@@ -144,8 +146,9 @@ type Network struct {
 func (n Network) Covers(group int) bool { return n.Size == 0 || group <= n.Size }
 
 // EffectiveBandwidth is the size-derated per-processor bandwidth for a
-// message of b bytes.
-func (n Network) EffectiveBandwidth(b units.Bytes) units.BytesPerSec {
+// message of b bytes. Pointer receiver: the collective-time model calls it
+// several times per evaluated strategy.
+func (n *Network) EffectiveBandwidth(b units.Bytes) units.BytesPerSec {
 	return units.BytesPerSec(float64(n.Bandwidth) * n.Efficiency.At(float64(b)))
 }
 
@@ -216,12 +219,20 @@ func (s System) Validate() error {
 // group. This is how tensor parallelism lands on NVLink when t fits the
 // domain and spills to the scale-out fabric otherwise.
 func (s System) NetworkFor(group int) Network {
-	for _, n := range s.Networks {
-		if n.Covers(group) {
-			return n
+	return *s.NetworkPtrFor(group)
+}
+
+// NetworkPtrFor is NetworkFor without the struct copy: it returns a pointer
+// into s.Networks, valid as long as the System itself. The evaluation hot
+// path selects a network per communication group per strategy, so the copy
+// elision is worth the aliasing caveat.
+func (s *System) NetworkPtrFor(group int) *Network {
+	for i := range s.Networks {
+		if s.Networks[i].Covers(group) {
+			return &s.Networks[i]
 		}
 	}
-	return s.Networks[len(s.Networks)-1]
+	return &s.Networks[len(s.Networks)-1]
 }
 
 // ScaleOut returns the outermost (system-spanning) network, used by pipeline
