@@ -50,6 +50,8 @@ func TestExitCodeConvention(t *testing.T) {
 		{"unknown subcommand", []string{"bogus"}, 2, "unknown command"},
 		{"unknown flag", []string{"search", "-definitely-not-a-flag"}, 2, "flag provided but not defined"},
 		{"bad flag value", []string{"run", "-tp", "zebra"}, 2, "invalid value"},
+		{"infer non-dividing tp", []string{"infer", "-model", "gpt3-175B", "-tp", "7"}, 2, "infeasible"},
+		{"infer non-dividing pp", []string{"infer", "-model", "gpt3-175B", "-tp", "8", "-pp", "7"}, 2, "infeasible"},
 		{"timeout", []string{"search", "-model", "gpt3-13B", "-batch", "64", "-procs", "64",
 			"-max-interleave", "2", "-timeout", "50ms"}, 124, "timed out"},
 	}

@@ -12,6 +12,7 @@ import (
 
 	"calculon/internal/resultstore"
 	"calculon/internal/search"
+	"calculon/internal/serving"
 	"calculon/internal/units"
 )
 
@@ -65,6 +66,25 @@ func (r *runtimeFlags) openStore(opts *search.Options) (func() error, error) {
 	return st.Close, nil
 }
 
+// openServingStore is openStore for the serving engine: the same JSONL file
+// serves both kinds of verdict, and the serving search gets the store's
+// serving.Cache view.
+func (r *runtimeFlags) openServingStore(opts *serving.Options) (func() error, error) {
+	if r.store == "" {
+		return func() error { return nil }, nil
+	}
+	st, err := resultstore.Open(r.store)
+	if err != nil {
+		return nil, err
+	}
+	if s := st.Stats(); s.Stale > 0 || s.RecoveredBytes > 0 {
+		fmt.Fprintf(os.Stderr, "calculon: store %s: %d rows (%d stale, recovered from %d truncated bytes)\n",
+			r.store, s.Rows, s.Stale, s.RecoveredBytes)
+	}
+	opts.Cache = st.ServingCache()
+	return st.Close, nil
+}
+
 // apply derives the command's context from the timeout and starts the
 // profiling hooks. The returned cleanup must run before the command exits;
 // it stops the CPU profile and releases the timeout.
@@ -111,6 +131,19 @@ func (r *runtimeFlags) apply(ctx context.Context) (context.Context, func(), erro
 // a shared Progress for partial-result reporting, a pre-counted total for
 // ETAs, and — when -progress is set — a stderr ticker.
 func (r *runtimeFlags) attachProgress(opts *search.Options, prog *search.Progress) {
+	opts.Progress = prog
+	opts.EstimateTotal = true
+	opts.Workers = r.workers
+	if r.progress > 0 {
+		opts.ProgressInterval = r.progress
+		opts.OnProgress = func(s search.ProgressSnapshot) {
+			fmt.Fprintf(os.Stderr, "calculon: %s\n", s)
+		}
+	}
+}
+
+// attachServingProgress mirrors attachProgress for serving.Options.
+func (r *runtimeFlags) attachServingProgress(opts *serving.Options, prog *search.Progress) {
 	opts.Progress = prog
 	opts.EstimateTotal = true
 	opts.Workers = r.workers

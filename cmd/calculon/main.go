@@ -56,6 +56,12 @@ func main() {
 		case errors.Is(err, context.DeadlineExceeded):
 			fmt.Fprintln(os.Stderr, "calculon: timed out")
 			os.Exit(124)
+		case errors.Is(err, perf.ErrInfeasible):
+			// Structurally impossible requests (a TP that does not divide the
+			// heads, a PP that does not divide the blocks) are usage errors,
+			// not runtime failures.
+			fmt.Fprintln(os.Stderr, "calculon:", err)
+			os.Exit(2)
 		}
 		fmt.Fprintln(os.Stderr, "calculon:", err)
 		os.Exit(1)
@@ -84,6 +90,8 @@ func dispatch(ctx context.Context, cmd string, args []string) error {
 		return cmdSensitivity(args)
 	case "infer":
 		return cmdInfer(args)
+	case "serve-search":
+		return cmdServeSearch(ctx, args)
 	case "tco":
 		return cmdTCO(ctx, args)
 	case "study":
@@ -112,13 +120,16 @@ func usage() {
   calculon timeline -model <preset> -tp T -pp P -interleave V [flags]   render the pipeline schedule (Fig. 2)
   calculon sensitivity -model <preset> -procs N -tp T -pp P [flags]     batch-time elasticity per resource
   calculon infer   -model <preset> -tp T -pp P [flags]                  serving (prefill+decode) estimate
+  calculon serve-search -model <preset> -procs N -ttft 10 -tpot 0.1     SLO-constrained serving co-design search
+  calculon serve-search -scenario serving-chat.json -disaggregate       ... from a serving scenario file
+  calculon serve-search ... -step 16 -max 128                           right-size the serving cluster
   calculon tco     -model <preset> -procs N -tokens 450e9 [flags]       training-run cost of the best strategy
   calculon calibrate [-lo 0.7 -hi 1.3 -steps 25]                        refit efficiency curves vs Table 2
   calculon presets                                                      list model/system presets
 
 experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 fig11 table1 table2 table3 table4 seqscale
 
-runtime flags (search, scaling, tco, study): -timeout 5m abort with partial
+runtime flags (search, serve-search, scaling, tco, study): -timeout 5m abort with partial
 progress; -progress 2s live stderr ticker; -pprof localhost:6060 and
 -cpuprofile cpu.out profiling hooks. Ctrl-C interrupts any sweep cleanly.`)
 }

@@ -7,6 +7,7 @@ import (
 
 	"calculon/internal/execution"
 	"calculon/internal/inference"
+	"calculon/internal/perf"
 	"calculon/internal/search"
 	"calculon/internal/tco"
 )
@@ -19,6 +20,7 @@ func cmdInfer(args []string) error {
 	prompt := fs.Int("prompt", 512, "prompt length in tokens")
 	gen := fs.Int("gen", 256, "generated tokens per sequence")
 	batch := fs.Int("serve-batch", 8, "concurrent sequences")
+	kvOffload := fs.Bool("kv-offload", false, "stash the KV cache in the second memory tier (-mem2)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -27,12 +29,23 @@ func cmdInfer(args []string) error {
 	if err != nil {
 		return err
 	}
+	// A TP that does not divide the attention heads (or a PP that does not
+	// divide the blocks) has no shardable execution; rejecting here keeps the
+	// estimate honest instead of pricing a rounded-off model.
+	if *tp < 1 || m.AttnHeads%*tp != 0 {
+		return fmt.Errorf("infer: -tp %d does not divide %s's %d attention heads: %w",
+			*tp, m.Name, m.AttnHeads, perf.ErrInfeasible)
+	}
+	if *pp < 1 || m.Blocks%*pp != 0 {
+		return fmt.Errorf("infer: -pp %d does not divide %s's %d blocks: %w",
+			*pp, m.Name, m.Blocks, perf.ErrInfeasible)
+	}
 	st := execution.Strategy{
 		TP: *tp, PP: *pp, DP: 1, Microbatch: 1, Interleave: 1, OneFOneB: true,
 		Recompute: execution.RecomputeNone, TPRSAG: true,
 	}
 	res, err := inference.Estimate(m, sys, st, inference.Workload{
-		PromptLen: *prompt, GenLen: *gen, Batch: *batch,
+		PromptLen: *prompt, GenLen: *gen, Batch: *batch, KVOffload: *kvOffload,
 	})
 	if err != nil {
 		return err

@@ -27,6 +27,12 @@ import (
 const smallJob = `{"model":{"preset":"gpt3-13B","batch":8},"system":{"preset":"a100-80g","procs":8},"search":{"top_k":3}}`
 const bigJob = `{"model":{"preset":"gpt3-175B","batch":3072},"system":{"preset":"a100-80g","procs":4096},"search":{}}`
 
+// servingJob exercises the serving-search job kind end to end, with the
+// disaggregated prefill/decode pool mode in the search space.
+const servingJob = `{"model":{"preset":"gpt3-13B"},"system":{"preset":"a100-80g","procs":16},` +
+	`"serving":{"workload":{"mix":[{"prompt_len":512,"gen_len":128,"weight":1}],` +
+	`"slo":{"ttft_seconds":30,"tpot_seconds":1}},"space":{"procs":16,"disaggregate":true}}}`
+
 type status struct {
 	ID       string `json:"id"`
 	State    string `json:"state"`
@@ -46,6 +52,17 @@ type result struct {
 	Best  *struct {
 		SampleRate float64 `json:"sample_rate"`
 	} `json:"best"`
+	Serving *struct {
+		Feasible int `json:"feasible"`
+		Frontier []struct {
+			Disaggregated   bool    `json:"disaggregated"`
+			PrefillReplicas int     `json:"prefill_replicas"`
+			CostPerMToken   float64 `json:"cost_per_mtoken"`
+		} `json:"frontier"`
+		Best *struct {
+			CostPerMToken float64 `json:"cost_per_mtoken"`
+		} `json:"best"`
+	} `json:"serving"`
 }
 
 func TestCalculondE2E(t *testing.T) {
@@ -201,6 +218,53 @@ func TestCalculondE2E(t *testing.T) {
 		t.Fatalf("store status after cached rerun = %+v, want 1 row / 1 hit / 1 miss / 1 append", stStatus)
 	}
 
+	// A serving co-design job with disaggregation in the space: the result
+	// must carry an SLO-feasible frontier that actually exercises the
+	// prefill/decode pool split, and a resubmit must come straight from the
+	// store, bit-identical.
+	var srv status
+	if code := call("POST", "/v1/jobs", servingJob, &srv); code != http.StatusAccepted {
+		t.Fatalf("submit serving: %d", code)
+	}
+	waitFor(srv.ID, "done", true)
+	var srvRes result
+	if code := call("GET", "/v1/jobs/"+srv.ID+"/result", "", &srvRes); code != http.StatusOK {
+		t.Fatalf("serving result: %d", code)
+	}
+	if !srvRes.Found || srvRes.Serving == nil || srvRes.Serving.Best == nil ||
+		srvRes.Serving.Best.CostPerMToken <= 0 {
+		t.Fatalf("serving result carries no best deployment: %+v", srvRes)
+	}
+	disaggregated := 0
+	for _, d := range srvRes.Serving.Frontier {
+		if d.Disaggregated {
+			if d.PrefillReplicas < 1 {
+				t.Fatalf("disaggregated frontier point without a prefill pool: %+v", d)
+			}
+			disaggregated++
+		}
+	}
+	if disaggregated == 0 {
+		t.Fatalf("no disaggregated deployment on the frontier: %+v", srvRes.Serving.Frontier)
+	}
+	var srvRerun status
+	if code := call("POST", "/v1/jobs", servingJob, &srvRerun); code != http.StatusAccepted {
+		t.Fatalf("resubmit serving: %d", code)
+	}
+	srvCached := waitFor(srvRerun.ID, "done", false)
+	if srvCached.Progress.Evaluated != 0 || srvCached.Progress.StoreHits != 1 {
+		t.Fatalf("serving rerun progress = %+v, want a pure store hit", srvCached.Progress)
+	}
+	var srvCachedRes result
+	if code := call("GET", "/v1/jobs/"+srvRerun.ID+"/result", "", &srvCachedRes); code != http.StatusOK {
+		t.Fatalf("cached serving result: %d", code)
+	}
+	if srvCachedRes.Serving == nil || srvCachedRes.Serving.Best == nil ||
+		srvCachedRes.Serving.Best.CostPerMToken != srvRes.Serving.Best.CostPerMToken ||
+		len(srvCachedRes.Serving.Frontier) != len(srvRes.Serving.Frontier) {
+		t.Fatalf("cached serving result diverges from the live run: %+v vs %+v", srvCachedRes, srvRes)
+	}
+
 	// Submit a ~10M-strategy job, catch it mid-flight, cancel it.
 	var big status
 	if code := call("POST", "/v1/jobs", bigJob, &big); code != http.StatusAccepted {
@@ -224,15 +288,17 @@ func TestCalculondE2E(t *testing.T) {
 	metricsBody, _ := io.ReadAll(metricsResp.Body)
 	metricsResp.Body.Close()
 	for _, want := range []string{
-		"calculond_jobs_done_total 2",
+		"calculond_jobs_done_total 4",
 		"calculond_jobs_cancelled_total 1",
+		"calculond_jobs_serving_total 2",
 		"calculond_workers_total 4",
-		"calculond_searches_from_store_total 1",
-		"calculond_store_rows 1",
-		"calculond_store_hits_total 1",
-		// Two misses by scrape time: the live small job and the (cancelled,
-		// never stored) big job each looked up once; the rerun was a hit.
-		"calculond_store_misses_total 2",
+		"calculond_searches_from_store_total 2",
+		"calculond_store_rows 2",
+		"calculond_store_hits_total 2",
+		// Three misses by scrape time: the live small job, the live serving
+		// job, and the (cancelled, never stored) big job each looked up once;
+		// both reruns were hits.
+		"calculond_store_misses_total 3",
 	} {
 		if !strings.Contains(string(metricsBody), want) {
 			t.Errorf("metrics missing %q:\n%s", want, metricsBody)
@@ -267,18 +333,18 @@ func TestCalculondE2E(t *testing.T) {
 
 	// The drain flushed the store: reopening it must find whole committed
 	// rows only — no truncated tail, nothing recovered, nothing stale. The
-	// small job contributes one row; the pre-drain big job contributes a
-	// second only if it finished inside the drain window (the DELETE-
-	// cancelled job never stores), so the count is 1 or 2.
+	// small job and the serving job contribute a row each; the pre-drain big
+	// job contributes a third only if it finished inside the drain window
+	// (the DELETE-cancelled job never stores), so the count is 2 or 3.
 	st, err := resultstore.Open(storePath)
 	if err != nil {
 		t.Fatalf("reopening the store after drain: %v", err)
 	}
 	defer st.Close()
 	stats := st.Stats()
-	if stats.Rows < 1 || stats.Rows > 2 || stats.Loaded != stats.Rows ||
+	if stats.Rows < 2 || stats.Rows > 3 || stats.Loaded != stats.Rows ||
 		stats.RecoveredBytes != 0 || stats.Stale != 0 {
-		t.Errorf("post-drain store stats = %+v, want 1-2 whole rows and a clean tail", stats)
+		t.Errorf("post-drain store stats = %+v, want 2-3 whole rows and a clean tail", stats)
 	}
-	fmt.Println("e2e lifecycle complete: submit, poll, result, cached rerun, cancel, drain")
+	fmt.Println("e2e lifecycle complete: submit, poll, result, serving job, cached reruns, cancel, drain")
 }

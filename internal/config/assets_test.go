@@ -1,6 +1,7 @@
 package config
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"calculon/internal/model"
 	"calculon/internal/perf"
+	"calculon/internal/serving"
 	"calculon/internal/system"
 )
 
@@ -30,8 +32,10 @@ func repoRoot(t testing.TB) string {
 	}
 }
 
-// TestShippedScenariosResolveAndRun loads every JSON scenario asset in
-// configs/scenarios, resolves it, and runs the performance model on it.
+// TestShippedScenariosResolveAndRun loads every training JSON scenario
+// asset in configs/scenarios, resolves it, and runs the performance model on
+// it. Files named serving-* hold ServingScenario specs and have their own
+// test below.
 func TestShippedScenariosResolveAndRun(t *testing.T) {
 	dir := filepath.Join(repoRoot(t), "configs", "scenarios")
 	entries, err := os.ReadDir(dir)
@@ -42,7 +46,7 @@ func TestShippedScenariosResolveAndRun(t *testing.T) {
 		t.Fatalf("expected ≥3 shipped scenarios, found %d", len(entries))
 	}
 	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), ".json") {
+		if !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), "serving-") {
 			continue
 		}
 		path := filepath.Join(dir, e.Name())
@@ -64,6 +68,45 @@ func TestShippedScenariosResolveAndRun(t *testing.T) {
 		if res.BatchTime <= 0 || res.SampleRate <= 0 {
 			t.Errorf("%s: implausible result %v", e.Name(), res)
 		}
+	}
+}
+
+// TestShippedServingScenariosResolveAndSearch loads every serving-* scenario
+// asset, resolves it, and runs the full serving search on it: the shipped
+// examples must stay submittable end to end, not merely parse.
+func TestShippedServingScenariosResolveAndSearch(t *testing.T) {
+	dir := filepath.Join(repoRoot(t), "configs", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "serving-") || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		found++
+		sc, err := Load[ServingScenario](filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		spec, err := sc.Resolve()
+		if err != nil {
+			t.Errorf("%s: resolve: %v", e.Name(), err)
+			continue
+		}
+		res, err := serving.Search(context.Background(), spec, serving.Options{})
+		if err != nil {
+			t.Errorf("%s: search: %v", e.Name(), err)
+			continue
+		}
+		if res.Feasible == 0 || res.Best == nil {
+			t.Errorf("%s: shipped serving scenario finds no feasible deployment", e.Name())
+		}
+	}
+	if found == 0 {
+		t.Fatal("no serving-* scenario shipped; the serving example is part of the CLI surface")
 	}
 }
 

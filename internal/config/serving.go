@@ -1,0 +1,63 @@
+package config
+
+import (
+	"fmt"
+
+	"calculon/internal/serving"
+	"calculon/internal/tco"
+)
+
+// ServingScenario bundles one serving co-design search problem: the model,
+// the decode system (and optionally a different prefill system for
+// disaggregated pools), the request mix with its SLOs, the deployment space
+// bounds, and the cost assumptions. Files under configs/scenarios with a
+// "serving-" name prefix hold this shape; everything else there is a
+// training Scenario.
+type ServingScenario struct {
+	Name   string    `json:"name,omitempty"`
+	Model  ModelRef  `json:"model"`
+	System SystemRef `json:"system"`
+	// PrefillSystem, when present, is the system the disaggregated prefill
+	// pool deploys on; absent means prefill shares the decode system.
+	PrefillSystem *SystemRef       `json:"prefill_system,omitempty"`
+	Workload      serving.Workload `json:"workload"`
+	Space         serving.Space    `json:"space"`
+	// Assumptions price the deployments; absent means tco.DefaultAssumptions.
+	Assumptions *tco.Assumptions `json:"assumptions,omitempty"`
+}
+
+// Resolve materializes the scenario into a normalized, validated
+// serving.Spec.
+func (sc ServingScenario) Resolve() (serving.Spec, error) {
+	m, err := sc.Model.Resolve()
+	if err != nil {
+		return serving.Spec{}, err
+	}
+	sys, err := sc.System.Resolve()
+	if err != nil {
+		return serving.Spec{}, err
+	}
+	spec := serving.Spec{
+		Model:    m,
+		System:   sys,
+		Workload: sc.Workload,
+		Space:    sc.Space,
+	}
+	if sc.Space.Procs == 0 {
+		// A scenario that names a system size usually means to search within
+		// it; an explicit space budget still wins.
+		spec.Space.Procs = sys.Procs
+	}
+	if sc.PrefillSystem != nil {
+		ps, err := sc.PrefillSystem.Resolve()
+		if err != nil {
+			return serving.Spec{}, fmt.Errorf("config: prefill system: %w", err)
+		}
+		spec.PrefillSystem = &ps
+	}
+	if sc.Assumptions != nil {
+		spec.Assumptions = *sc.Assumptions
+	}
+	spec = spec.Normalize()
+	return spec, spec.Validate()
+}

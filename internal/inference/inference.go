@@ -17,6 +17,7 @@ package inference
 import (
 	"fmt"
 
+	"calculon/internal/comm"
 	"calculon/internal/execution"
 	"calculon/internal/layers"
 	"calculon/internal/model"
@@ -148,16 +149,19 @@ func Estimate(m model.LLM, sys system.System, st execution.Strategy, w Workload)
 		step = memT
 	}
 
-	// TP communication per decode step: two all-reduces per block of the
-	// batch's hidden vectors.
+	// TP communication per decode step: two collectives per block over the
+	// batch's hidden vectors — all-reduce normally, or reduce-scatter +
+	// all-gather when the strategy shards the boundary (TPRSAG), priced by
+	// the shared collective model in internal/comm.
 	if st.TP > 1 {
-		net := sys.NetworkFor(st.TP)
+		net := sys.NetworkPtrFor(st.TP)
 		vec := units.Bytes(w.Batch*m.Hidden) * 2
 		var commOne units.Seconds
 		if st.TPRSAG {
-			commOne = comm2(net, st.TP, vec)
+			commOne = comm.Time(net, comm.ReduceScatter, st.TP, vec) +
+				comm.Time(net, comm.AllGather, st.TP, vec)
 		} else {
-			commOne = commAR(net, st.TP, vec)
+			commOne = comm.Time(net, comm.AllReduce, st.TP, vec)
 		}
 		step += units.Seconds(2*blocksPerProc) * commOne
 	}
@@ -193,21 +197,13 @@ func Estimate(m model.LLM, sys system.System, st execution.Strategy, w Workload)
 	return res, nil
 }
 
-func commAR(net system.Network, g int, b units.Bytes) units.Seconds {
-	phase := (b * units.Bytes(g-1) / units.Bytes(g)).Div(net.EffectiveBandwidth(b / units.Bytes(g)))
-	return 2*phase + 2*units.Seconds(g-1)*net.Latency
-}
-
-func comm2(net system.Network, g int, b units.Bytes) units.Seconds {
-	return commAR(net, g, b)
-}
-
+// p2pLat prices the pipeline-boundary hops of one token's latency path:
+// PP−1 point-to-point sends of the batch's hidden vectors.
 func p2pLat(sys system.System, st execution.Strategy, m model.LLM, w Workload) units.Seconds {
 	if st.PP <= 1 {
 		return 0
 	}
-	net := sys.NetworkFor(st.TP * st.PP)
+	net := sys.NetworkPtrFor(st.TP * st.PP)
 	vec := units.Bytes(w.Batch*m.Hidden) * 2
-	per := vec.Div(net.EffectiveBandwidth(vec)) + net.Latency
-	return units.Seconds(st.PP-1) * per
+	return units.Seconds(st.PP-1) * comm.Time(net, comm.P2P, 2, vec)
 }

@@ -1,0 +1,158 @@
+package inference
+
+import (
+	"math"
+	"testing"
+
+	"calculon/internal/layers"
+	"calculon/internal/model"
+	"calculon/internal/system"
+	"calculon/internal/units"
+)
+
+// TestStepTimeMonotoneInContext: a longer context means a larger KV cache to
+// stream (and more attention FLOPs), so the decode step can only slow down.
+func TestStepTimeMonotoneInContext(t *testing.T) {
+	m := model.MustPreset("gpt3-13B")
+	sys := system.A100(8)
+	prev := units.Seconds(0)
+	for _, prompt := range []int{128, 512, 2048, 8192} {
+		res := estimate(t, m, sys, serving(8, 1), Workload{PromptLen: prompt, GenLen: 256, Batch: 8})
+		if res.StepTime < prev {
+			t.Errorf("step time shrank when the prompt grew to %d: %v < %v", prompt, res.StepTime, prev)
+		}
+		prev = res.StepTime
+	}
+}
+
+// TestStepTimeMonotoneInBatch: more in-flight sequences mean more KV bytes
+// and more GEMV work per step; the step can only slow down (throughput still
+// improves — that is TestBatchingAmortizesWeightStreaming).
+func TestStepTimeMonotoneInBatch(t *testing.T) {
+	m := model.MustPreset("gpt3-13B")
+	sys := system.A100(8)
+	prev := units.Seconds(0)
+	for _, batch := range []int{1, 2, 4, 8, 16, 32} {
+		res := estimate(t, m, sys, serving(8, 1), Workload{PromptLen: 512, GenLen: 128, Batch: batch})
+		if res.StepTime < prev {
+			t.Errorf("step time shrank when the batch grew to %d: %v < %v", batch, res.StepTime, prev)
+		}
+		prev = res.StepTime
+	}
+}
+
+// TestKVCacheScaling pins the KV cache's two scaling laws: linear in the
+// batch (each sequence owns its cache) and inverse in TP (heads shard the
+// cache exactly).
+func TestKVCacheScaling(t *testing.T) {
+	m := model.MustPreset("gpt3-13B")
+	sys := system.A100(8)
+	w := Workload{PromptLen: 1024, GenLen: 256, Batch: 4}
+
+	base := estimate(t, m, sys, serving(8, 1), w)
+	w2 := w
+	w2.Batch = 8
+	doubled := estimate(t, m, sys, serving(8, 1), w2)
+	if doubled.KVCacheBytes != 2*base.KVCacheBytes {
+		t.Errorf("KV cache not linear in batch: %v at batch 8 vs %v at batch 4",
+			doubled.KVCacheBytes, base.KVCacheBytes)
+	}
+
+	halfTP := estimate(t, m, sys, serving(4, 1), w)
+	if halfTP.KVCacheBytes != 2*base.KVCacheBytes {
+		t.Errorf("KV cache not inverse in TP: %v at tp=4 vs %v at tp=8",
+			halfTP.KVCacheBytes, base.KVCacheBytes)
+	}
+}
+
+// TestBandwidthBoundCrossover predicts the bandwidth→compute crossover
+// batch in closed form and checks the verdict flips there. On a
+// flat-efficiency system with tp=pp=1 (no communication, no efficiency
+// curvature), per block and per step:
+//
+//	computeT = b·F₁/R        F₁ = 2·params + 4·ctx·h FLOPs per sequence
+//	memT     = (W + K·b)/BW  K  = 4·ctx·h bytes of KV per sequence
+//
+// so decode is bandwidth-bound iff b < b* = W / (F₁·BW/R − K).
+func TestBandwidthBoundCrossover(t *testing.T) {
+	m := model.LLM{Name: "tiny", Hidden: 1024, AttnHeads: 16, Seq: 2048, Blocks: 4, Batch: 1}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		rate = units.FLOPsPerSec(1e12)
+		bw   = units.BytesPerSec(2e11)
+	)
+	sys := system.System{
+		Name:     "flat",
+		Procs:    1,
+		Compute:  system.Compute{MatrixPeak: rate, VectorPeak: rate},
+		Mem1:     system.Memory{Capacity: 64 * units.GiB, Bandwidth: bw},
+		Networks: []system.Network{{Name: "net", Bandwidth: 100e9, Latency: 1e-6}},
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	w := Workload{PromptLen: 768, GenLen: 256, Batch: 1}
+	ctx := w.PromptLen + w.GenLen
+	sh := layers.Shard{TP: 1, Microbatch: 1, Inference: true}
+	tot := layers.Sum(layers.Block(m, sh))
+	f1 := 2*tot.Params() + 4*float64(ctx)*float64(m.Hidden)
+	k := 4 * float64(ctx) * float64(m.Hidden)
+	weights := float64(tot.WeightBytes)
+	denom := f1*float64(bw)/float64(rate) - k
+	if denom <= 0 {
+		t.Fatalf("no crossover exists: denom %g", denom)
+	}
+	bStar := weights / denom
+	if bStar < 2 {
+		t.Fatalf("crossover batch %g too small to test both sides", bStar)
+	}
+
+	below := int(math.Floor(bStar * 0.9))
+	if below < 1 {
+		below = 1
+	}
+	above := int(math.Ceil(bStar*1.1)) + 1
+	w.Batch = below
+	if res := estimate(t, m, sys, serving(1, 1), w); !res.DecodeBandwidthBound {
+		t.Errorf("batch %d below the predicted crossover %.2f should be bandwidth-bound", below, bStar)
+	}
+	w.Batch = above
+	if res := estimate(t, m, sys, serving(1, 1), w); res.DecodeBandwidthBound {
+		t.Errorf("batch %d above the predicted crossover %.2f should be compute-bound", above, bStar)
+	}
+}
+
+// TestServingGoldenDigits pins a gpt3-175B / a100-80g serving point to nine
+// digits. Any change to the decode-step model, the collective costs (these
+// digits price the TP all-reduce pair through internal/comm), or the KV
+// accounting moves these numbers and must be deliberate.
+func TestServingGoldenDigits(t *testing.T) {
+	m := model.MustPreset("gpt3-175B")
+	sys := system.A100(8)
+	res := estimate(t, m, sys, serving(8, 1), Workload{PromptLen: 512, GenLen: 256, Batch: 8})
+
+	golden := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"PrefillTime", float64(res.PrefillTime), 1.410020984868477},
+		{"StepTime", float64(res.StepTime), 0.028797109648695651},
+		{"TotalTime", float64(res.TotalTime), 8.7820810549345634},
+		{"TokensPerSec", res.TokensPerSec, 277.80565819258726},
+		{"KVCacheBytes", float64(res.KVCacheBytes), 3623878656},
+		{"WeightBytes", float64(res.WeightBytes), 43502764032},
+		{"Mem1Used", float64(res.Mem1Used), 47327969280},
+	}
+	for _, g := range golden {
+		if rel := math.Abs(g.got-g.want) / math.Abs(g.want); rel > 1e-9 {
+			t.Errorf("%s: got %.17g, want %.17g (rel %.2e)", g.name, g.got, g.want, rel)
+		}
+	}
+	if !res.DecodeBandwidthBound {
+		t.Error("batch-8 decode on an A100 must be bandwidth-bound")
+	}
+}

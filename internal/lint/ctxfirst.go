@@ -16,7 +16,8 @@ import (
 // worker, and (4) library code never mints its own background context,
 // which would detach a subtree of work from the caller's cancellation.
 // Rule 1 applies module-wide; rules 2–4 are scoped to the packages that own
-// goroutines and channel plumbing (internal/search, internal/experiments).
+// goroutines and channel plumbing (internal/search, internal/experiments,
+// internal/serving).
 var CtxFirst = &Analyzer{
 	Name: "ctxfirst",
 	Doc:  "context.Context must come first, blocking exported funcs must take one, loops must select on ctx.Done()",
@@ -28,6 +29,7 @@ var CtxFirst = &Analyzer{
 func ctxScoped(pkgPath string) bool {
 	return strings.HasSuffix(pkgPath, "internal/search") ||
 		strings.HasSuffix(pkgPath, "internal/experiments") ||
+		strings.HasSuffix(pkgPath, "internal/serving") ||
 		!strings.Contains(pkgPath, "/")
 }
 

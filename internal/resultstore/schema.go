@@ -47,16 +47,23 @@ const (
 )
 
 // Row is one committed search verdict: the envelope (schema/space versions,
-// canonical key, provenance) plus the verdict payload. Rows are append-only;
-// re-running a search appends a fresh row and the loader keeps the last one
-// per key.
+// kind, canonical key, provenance) plus the verdict payload. Rows are
+// append-only; re-running a search appends a fresh row and the loader keeps
+// the last one per key.
 type Row struct {
 	// Schema is the wire-format version; see SchemaVersion.
 	Schema int `json:"schema"`
-	// Space is the strategy-space version the verdict was computed under;
-	// see StrategySpaceVersion.
+	// Space is the semantic version the verdict was computed under — which
+	// versioned space depends on Kind: StrategySpaceVersion for training
+	// rows, ServingSpaceVersion for serving rows.
 	Space int `json:"space_version"`
-	// Key is the canonical content hash identifying the search; see Key.
+	// Kind discriminates the verdict payload: "" is a training search
+	// (Verdict), KindServing a serving search (Serving). An unrecognized
+	// kind — a row written by a newer binary — loads as stale, not corrupt,
+	// so mixed-version fleets can share one store file.
+	Kind string `json:"kind,omitempty"`
+	// Key is the canonical content hash identifying the search; see Key and
+	// ServingKey.
 	Key string `json:"key"`
 	// CreatedUnix records when the verdict was committed (provenance only —
 	// it is not part of the identity and never affects lookups).
@@ -67,7 +74,26 @@ type Row struct {
 	System string `json:"system,omitempty"`
 	Procs  int    `json:"procs,omitempty"`
 
+	// Verdict carries a training row's payload; it stays zero on serving
+	// rows (the discriminator is Kind, not which field happens to be set).
 	Verdict Verdict `json:"verdict"`
+	// Serving carries a serving row's payload and is nil on training rows.
+	Serving *ServingVerdict `json:"serving,omitempty"`
+}
+
+// stale reports whether the row's verdict was computed under an outdated
+// version of its kind's semantic space — or under a kind this binary does
+// not know, which is the same situation seen from the other side of an
+// upgrade. Stale rows are counted and skipped at load, never served.
+func (r Row) stale() bool {
+	switch r.Kind {
+	case "":
+		return r.Space != StrategySpaceVersion
+	case KindServing:
+		return r.Space != ServingSpaceVersion
+	default:
+		return true
+	}
 }
 
 // Verdict is the stored form of a search.Result. It mirrors the result

@@ -34,7 +34,8 @@ type counters struct {
 
 // Stats is one observation of a store's activity.
 type Stats struct {
-	// Rows is the number of distinct keys currently in the index.
+	// Rows is the number of distinct keys currently indexed, summed across
+	// the training and serving indices.
 	Rows int
 	// Loaded counts the rows read back at Open (before dedup); Stale the
 	// subset skipped for carrying an outdated strategy-space version;
@@ -60,6 +61,7 @@ type Store struct {
 	f       *os.File
 	path    string
 	index   map[string]Verdict
+	serving map[string]ServingVerdict
 	pending []Row
 	batch   int
 	closed  bool
@@ -93,10 +95,11 @@ func Open(path string) (*Store, error) {
 		return nil, fmt.Errorf("resultstore: %w", err)
 	}
 	s := &Store{
-		f:     f,
-		path:  path,
-		index: make(map[string]Verdict),
-		batch: DefaultBatchSize,
+		f:       f,
+		path:    path,
+		index:   make(map[string]Verdict),
+		serving: make(map[string]ServingVerdict),
+		batch:   DefaultBatchSize,
 	}
 	if err := s.load(); err != nil {
 		// Close cannot mask the load error: the file was only read.
@@ -128,10 +131,10 @@ func (s *Store) load() error {
 				return fmt.Errorf("resultstore: %s: corrupt row at byte %d: %w", s.path, off, err)
 			}
 			s.loaded++
-			if row.Space != StrategySpaceVersion {
+			if row.stale() {
 				s.stale++
 			} else {
-				s.index[row.Key] = row.Verdict
+				s.indexRow(row)
 			}
 		}
 		off += nl + 1
@@ -148,7 +151,7 @@ func (s *Store) load() error {
 		return fmt.Errorf("resultstore: %s: %w", s.path, err)
 	}
 	row, err := decodeRow(tail)
-	if err != nil || row.Space != StrategySpaceVersion {
+	if err != nil || row.stale() {
 		s.recoveredBytes = len(tail)
 		return nil
 	}
@@ -159,8 +162,19 @@ func (s *Store) load() error {
 		return fmt.Errorf("resultstore: %s: %w", s.path, err)
 	}
 	s.loaded++
-	s.index[row.Key] = row.Verdict
+	s.indexRow(row)
 	return nil
+}
+
+// indexRow files the row's verdict under the index of its kind. Caller
+// holds mu (or is single-threaded load) and has already screened staleness;
+// decodeRow/Append guarantee a serving row carries its payload.
+func (s *Store) indexRow(row Row) {
+	if row.Kind == KindServing {
+		s.serving[row.Key] = *row.Serving
+	} else {
+		s.index[row.Key] = row.Verdict
+	}
 }
 
 // decodeRow parses one JSONL line into a Row, enforcing the envelope
@@ -177,6 +191,9 @@ func decodeRow(line []byte) (Row, error) {
 	if row.Key == "" {
 		return row, fmt.Errorf("row has no key")
 	}
+	if row.Kind == KindServing && row.Serving == nil {
+		return row, fmt.Errorf("serving row has no serving verdict")
+	}
 	return row, nil
 }
 
@@ -192,10 +209,25 @@ func (s *Store) SetBatchSize(n int) {
 	s.batch = n
 }
 
-// lookup returns the verdict stored under key, if any.
+// lookup returns the training verdict stored under key, if any.
 func (s *Store) lookup(key string) (Verdict, bool) {
 	s.mu.Lock()
 	v, ok := s.index[key]
+	s.mu.Unlock()
+	if ok {
+		s.ctr.hits.Add(1)
+	} else {
+		s.ctr.misses.Add(1)
+	}
+	return v, ok
+}
+
+// lookupServing returns the serving verdict stored under key, if any. Hits
+// and misses land in the same counters as training lookups — the stats
+// surface observes store traffic, not per-kind traffic.
+func (s *Store) lookupServing(key string) (ServingVerdict, bool) {
+	s.mu.Lock()
+	v, ok := s.serving[key]
 	s.mu.Unlock()
 	if ok {
 		s.ctr.hits.Add(1)
@@ -213,12 +245,15 @@ func (s *Store) Append(row Row) error {
 	if row.Key == "" {
 		return fmt.Errorf("resultstore: refusing to append row with no key")
 	}
+	if row.Kind == KindServing && row.Serving == nil {
+		return fmt.Errorf("resultstore: refusing to append serving row without a serving verdict")
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	s.index[row.Key] = row.Verdict
+	s.indexRow(row)
 	s.pending = append(s.pending, row)
 	s.ctr.appends.Add(1)
 	if len(s.pending) >= s.batch {
@@ -283,7 +318,7 @@ func (s *Store) Close() error {
 // Stats snapshots the store's activity counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	rows, loaded, stale, recovered := len(s.index), s.loaded, s.stale, s.recoveredBytes
+	rows, loaded, stale, recovered := len(s.index)+len(s.serving), s.loaded, s.stale, s.recoveredBytes
 	s.mu.Unlock()
 	return Stats{
 		Rows:           rows,

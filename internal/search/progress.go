@@ -97,6 +97,34 @@ func (p *Progress) add(d progressDelta) {
 	}
 }
 
+// Counts is one batch of counter increments for AddCounts. Other search
+// verticals (the serving search) flush their per-chunk tallies through this
+// instead of reaching into the unexported fields, so mirror propagation and
+// the atomic discipline stay in one place.
+type Counts struct {
+	Evaluated   int64
+	Feasible    int64
+	PreScreened int64
+	CacheHits   int64
+	StoreHits   int64
+}
+
+// AddCounts flushes one batch of counts, propagating to any mirror exactly
+// like the internal per-chunk flush does.
+func (p *Progress) AddCounts(c Counts) {
+	p.add(progressDelta{
+		evaluated:   c.Evaluated,
+		feasible:    c.Feasible,
+		prescreened: c.PreScreened,
+		cacheHits:   c.CacheHits,
+		storeHits:   c.StoreHits,
+	})
+}
+
+// MarkStart records the wall-clock start on first attachment, for searches
+// outside this package that drive a Progress directly.
+func (p *Progress) MarkStart() { p.markStart() }
+
 // AddTotal grows the expected-strategy total (used for ETA). Searches add
 // their own space size when Options.EstimateTotal is set; callers that know
 // the size in advance may add it themselves instead.

@@ -22,6 +22,7 @@ import (
 type Metrics struct {
 	// Totals over the daemon's lifetime.
 	submitted   atomic.Int64
+	servingJobs atomic.Int64 // subset of submitted that are serving searches
 	rejected    atomic.Int64 // queue-full and draining refusals
 	ratelimited atomic.Int64 // 429s issued
 	done        atomic.Int64
@@ -44,6 +45,7 @@ func write(w io.Writer, name, typ string, v int64) {
 // result store is attached — the store's dedup-cache counters.
 func (m *Metrics) Expose(w io.Writer, fleet search.ProgressSnapshot, budget *Budget, store *resultstore.Store) {
 	write(w, "calculond_jobs_submitted_total", "counter", m.submitted.Load())
+	write(w, "calculond_jobs_serving_total", "counter", m.servingJobs.Load())
 	write(w, "calculond_jobs_rejected_total", "counter", m.rejected.Load())
 	write(w, "calculond_requests_ratelimited_total", "counter", m.ratelimited.Load())
 	write(w, "calculond_jobs_done_total", "counter", m.done.Load())

@@ -13,6 +13,7 @@ import (
 	"calculon/internal/perf"
 	"calculon/internal/resultstore"
 	"calculon/internal/search"
+	"calculon/internal/serving"
 )
 
 // Config sizes the daemon.
@@ -189,7 +190,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	res, state, jobErr, ok := job.Snapshot()
+	res, sres, state, jobErr, ok := job.Snapshot()
 	if !ok {
 		// Not finished: answer with the live status so pollers get the
 		// counters for free.
@@ -199,6 +200,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	out := JobResult{ID: job.ID, State: state}
 	if jobErr != nil {
 		out.Error = jobErr.Error()
+	}
+	if sres != nil {
+		out.Evaluated = sres.Evaluated
+		out.Feasible = sres.Feasible
+		out.PreScreened = sres.PreScreened
+		out.Found = sres.Best != nil
+		out.Serving = sres
 	}
 	if res != nil {
 		out.Evaluated = res.Evaluated
@@ -306,20 +314,23 @@ func progressStatus(s search.ProgressSnapshot) ProgressStatus {
 	}
 }
 
-// JobResult is the wire form of a finished job's search outcome.
+// JobResult is the wire form of a finished job's search outcome. Training
+// jobs fill Best/Top/Pareto; serving jobs fill Serving (the counter fields
+// are shared, with Evaluated counting engine configurations there).
 type JobResult struct {
-	ID            string        `json:"id"`
-	State         State         `json:"state"`
-	Error         string        `json:"error,omitempty"`
-	Evaluated     int           `json:"evaluated"`
-	Feasible      int           `json:"feasible"`
-	PreScreened   int           `json:"pre_screened"`
-	SubtreePruned int           `json:"subtree_pruned"`
-	CacheHits     int           `json:"cache_hits"`
-	Found         bool          `json:"found"`
-	Best          *perf.Result  `json:"best,omitempty"`
-	Top           []perf.Result `json:"top,omitempty"`
-	Pareto        []perf.Result `json:"pareto,omitempty"`
+	ID            string          `json:"id"`
+	State         State           `json:"state"`
+	Error         string          `json:"error,omitempty"`
+	Evaluated     int             `json:"evaluated"`
+	Feasible      int             `json:"feasible"`
+	PreScreened   int             `json:"pre_screened"`
+	SubtreePruned int             `json:"subtree_pruned"`
+	CacheHits     int             `json:"cache_hits"`
+	Found         bool            `json:"found"`
+	Best          *perf.Result    `json:"best,omitempty"`
+	Top           []perf.Result   `json:"top,omitempty"`
+	Pareto        []perf.Result   `json:"pareto,omitempty"`
+	Serving       *serving.Result `json:"serving,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

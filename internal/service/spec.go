@@ -19,7 +19,9 @@ import (
 	"calculon/internal/execution"
 	"calculon/internal/model"
 	"calculon/internal/search"
+	"calculon/internal/serving"
 	"calculon/internal/system"
+	"calculon/internal/tco"
 )
 
 // SearchSpec is the client-facing subset of search.Options: what to search,
@@ -46,20 +48,45 @@ type SearchSpec struct {
 	DisableStore bool `json:"disable_store,omitempty"`
 }
 
-// JobSpec is the body of POST /v1/jobs: the same model/system references the
-// CLI's scenario files use, plus the search options.
-type JobSpec struct {
-	Model  config.ModelRef  `json:"model"`
-	System config.SystemRef `json:"system"`
-	Search SearchSpec       `json:"search"`
+// ServingJobSpec is the serving-search job kind: the workload, the
+// deployment space, and optionally a separate prefill-pool system and cost
+// assumptions. A job carrying one runs serving.Search instead of the
+// training-strategy search; the training-only Search fields must then stay
+// empty (TimeoutSeconds and DisableStore still apply).
+type ServingJobSpec struct {
+	Workload serving.Workload `json:"workload"`
+	Space    serving.Space    `json:"space"`
+	// PrefillSystem, when present, is the system the disaggregated prefill
+	// pool deploys on.
+	PrefillSystem *config.SystemRef `json:"prefill_system,omitempty"`
+	// Assumptions price the deployments; absent means tco.DefaultAssumptions.
+	Assumptions *tco.Assumptions `json:"assumptions,omitempty"`
+	// DisablePreScreen turns off the closed-form capacity pre-screen
+	// (identical results, slower; for A/B measurement).
+	DisablePreScreen bool `json:"disable_pre_screen,omitempty"`
 }
 
-// prepared is a resolved, validated job spec ready to run.
+// JobSpec is the body of POST /v1/jobs: the same model/system references the
+// CLI's scenario files use, plus the search options. A spec with a serving
+// section is a serving co-design job; otherwise it is a training-strategy
+// search.
+type JobSpec struct {
+	Model   config.ModelRef  `json:"model"`
+	System  config.SystemRef `json:"system"`
+	Search  SearchSpec       `json:"search"`
+	Serving *ServingJobSpec  `json:"serving,omitempty"`
+}
+
+// prepared is a resolved, validated job spec ready to run. Exactly one of
+// the two engines is armed: servingSpec nil means a training search.
 type prepared struct {
 	m       model.LLM
 	sys     system.System
 	opts    search.Options
 	timeout time.Duration
+
+	servingSpec *serving.Spec
+	servingOpts serving.Options
 }
 
 // prepare resolves the references and validates everything client-supplied,
@@ -68,6 +95,9 @@ type prepared struct {
 func (s JobSpec) prepare() (prepared, error) {
 	var p prepared
 	var err error
+	if s.Serving != nil {
+		return s.prepareServing()
+	}
 	if p.m, err = s.Model.Resolve(); err != nil {
 		return p, err
 	}
@@ -103,6 +133,39 @@ func (s JobSpec) prepare() (prepared, error) {
 		Pareto:        s.Search.Pareto,
 		EstimateTotal: true,
 		DisableStore:  s.Search.DisableStore,
+	}
+	p.timeout = time.Duration(s.Search.TimeoutSeconds * float64(time.Second))
+	return p, nil
+}
+
+// prepareServing resolves a serving job, reusing the scenario-file resolver
+// so the HTTP spec and configs/scenarios/serving-*.json accept the same
+// shapes and reject the same mistakes.
+func (s JobSpec) prepareServing() (prepared, error) {
+	var p prepared
+	if s.Search.Features != "" || s.Search.MaxInterleave != 0 || s.Search.TopK != 0 || s.Search.Pareto {
+		return p, fmt.Errorf("service: a serving job takes no training search options (features/max_interleave/top_k/pareto)")
+	}
+	if s.Search.TimeoutSeconds < 0 {
+		return p, fmt.Errorf("service: negative timeout_seconds %g", s.Search.TimeoutSeconds)
+	}
+	sc := config.ServingScenario{
+		Model:         s.Model,
+		System:        s.System,
+		PrefillSystem: s.Serving.PrefillSystem,
+		Workload:      s.Serving.Workload,
+		Space:         s.Serving.Space,
+		Assumptions:   s.Serving.Assumptions,
+	}
+	spec, err := sc.Resolve()
+	if err != nil {
+		return p, err
+	}
+	p.servingSpec = &spec
+	p.servingOpts = serving.Options{
+		EstimateTotal:    true,
+		DisablePreScreen: s.Serving.DisablePreScreen,
+		DisableStore:     s.Search.DisableStore,
 	}
 	p.timeout = time.Duration(s.Search.TimeoutSeconds * float64(time.Second))
 	return p, nil

@@ -1,0 +1,110 @@
+package serving
+
+import (
+	"errors"
+
+	"calculon/internal/inference"
+	"calculon/internal/perf"
+	"calculon/internal/system"
+	"calculon/internal/units"
+)
+
+// engineProfile is everything stage 2 needs to compose deployments from one
+// engine configuration: the steady-state estimate at the mean workload plus
+// the per-bucket batch-1 prefill times that govern TTFT. Profiles land in a
+// dense array indexed by the engine's sequence number, so the parallel
+// evaluation order cannot influence anything downstream.
+type engineProfile struct {
+	// ok marks a feasible engine; prescreened marks one rejected by the
+	// closed-form capacity bound without pricing.
+	ok          bool
+	prescreened bool
+	// err carries a non-infeasibility failure (a spec-level bug); the
+	// search aborts on the lowest-sequence one.
+	err error
+	// est is the steady-state estimate at the mean workload (mean prompt,
+	// mean generation, full batch).
+	est inference.Result
+	// prefill1 is each bucket's batch-1 prefill time on the decode system —
+	// the TTFT prefill term of a colocated deployment.
+	prefill1 []units.Seconds
+	// prefillP1 and prefillPMean are the prefill-pool equivalents on the
+	// prefill system (disaggregated mode only): per-bucket batch-1 prefill
+	// times, and the mean-prompt batch-1 prefill time that sizes the pool.
+	prefillP1    []units.Seconds
+	prefillPMean units.Seconds
+}
+
+// evalEngine prices one engine configuration. Infeasible engines (capacity,
+// divisibility) come back with ok=false; any other estimation error is
+// recorded for the search to surface.
+func evalEngine(spec *Spec, cfg engineConfig, pbar, gbar int) engineProfile {
+	var p engineProfile
+	st := strategyFor(cfg.tp, cfg.pp)
+	// The engine occupies exactly tp·pp processors; the budget is a
+	// cluster-level bound, so the per-replica estimate runs on a system of
+	// the engine's own size.
+	sysD := spec.System.WithProcs(cfg.tp * cfg.pp)
+
+	est, err := inference.Estimate(spec.Model, sysD, st, inference.Workload{
+		PromptLen: pbar, GenLen: gbar, Batch: cfg.batch, KVOffload: cfg.kvOffload,
+	})
+	if err != nil {
+		return profileErr(err)
+	}
+	p.est = est
+
+	p.prefill1 = make([]units.Seconds, len(spec.Workload.Mix))
+	for i, b := range spec.Workload.Mix {
+		r, err := inference.Estimate(spec.Model, sysD, st, inference.Workload{
+			PromptLen: b.PromptLen, GenLen: b.GenLen, Batch: 1, KVOffload: cfg.kvOffload,
+		})
+		if err != nil {
+			return profileErr(err)
+		}
+		p.prefill1[i] = r.PrefillTime
+	}
+
+	if spec.Space.Disaggregate {
+		sysP := prefillSystem(spec).WithProcs(cfg.tp * cfg.pp)
+		// Prefill replicas run prompt-only passes (GenLen 0) and never
+		// offload: they hold one prompt's KV, not a batch's steady state.
+		r, err := inference.Estimate(spec.Model, sysP, st, inference.Workload{
+			PromptLen: pbar, GenLen: 0, Batch: 1,
+		})
+		if err != nil {
+			return profileErr(err)
+		}
+		p.prefillPMean = r.PrefillTime
+		p.prefillP1 = make([]units.Seconds, len(spec.Workload.Mix))
+		for i, b := range spec.Workload.Mix {
+			r, err := inference.Estimate(spec.Model, sysP, st, inference.Workload{
+				PromptLen: b.PromptLen, GenLen: 0, Batch: 1,
+			})
+			if err != nil {
+				return profileErr(err)
+			}
+			p.prefillP1[i] = r.PrefillTime
+		}
+	}
+
+	p.ok = true
+	return p
+}
+
+// profileErr folds an estimation error into a profile: infeasibility is a
+// normal search outcome, anything else aborts.
+func profileErr(err error) engineProfile {
+	if errors.Is(err, perf.ErrInfeasible) {
+		return engineProfile{}
+	}
+	return engineProfile{err: err}
+}
+
+// prefillSystem returns the system the disaggregated prefill pool runs on.
+func prefillSystem(spec *Spec) system.System {
+	if spec.PrefillSystem != nil {
+		return *spec.PrefillSystem
+	}
+	return spec.System
+}

@@ -1,0 +1,472 @@
+package serving
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"calculon/internal/comm"
+	"calculon/internal/search"
+	"calculon/internal/tco"
+	"calculon/internal/units"
+)
+
+// engineChunk is the number of engine configurations a worker claims at a
+// time: small enough to keep workers busy near the end of the space, large
+// enough that an engine's handful of estimates amortizes the channel hop.
+const engineChunk = 16
+
+// frontierCompactAt bounds the candidate buffer between Pareto compactions.
+const frontierCompactAt = 4096
+
+// Search runs the SLO-constrained serving co-design search and returns the
+// Pareto frontier of deployments meeting the workload's latency objectives.
+//
+// The search is deterministic by construction, in two stages. Stage 1
+// prices every engine configuration (tp, pp, batch, KV placement) in
+// parallel under the worker budget, writing profiles into a dense array
+// indexed by the enumeration sequence — worker count and scheduling cannot
+// influence a single byte of what stage 2 sees. Stage 2 is serial closed
+// form: it composes replica counts and disaggregation splits on top of the
+// profiles, filters on the SLOs, prices $/Mtoken, and compacts the
+// three-objective Pareto frontier with sequence-number tie-breaks. The
+// randomized equivalence test pins byte-identical output across -workers 1
+// and -workers N.
+func Search(ctx context.Context, spec Spec, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	prog := opts.Progress
+	if prog == nil && opts.OnProgress != nil {
+		prog = &search.Progress{}
+	}
+
+	// The store is consulted before anything is evaluated, mirroring
+	// search.Execution: a hit returns the stored verdict whole and leaves
+	// only StoreHits on the live counters.
+	useStore := opts.Cache != nil && !opts.DisableStore
+	if useStore {
+		if res, ok := opts.Cache.Lookup(spec, opts); ok {
+			if prog != nil {
+				prog.MarkStart()
+				prog.AddCounts(search.Counts{StoreHits: 1})
+			}
+			if opts.OnProgress != nil {
+				opts.OnProgress(prog.Snapshot())
+			}
+			return res, nil
+		}
+	}
+
+	cfgs := enumerate(spec.Model, spec.Space)
+	if prog != nil {
+		prog.MarkStart()
+		if opts.EstimateTotal {
+			prog.AddTotal(int64(len(cfgs)))
+		}
+	}
+	if opts.OnProgress != nil {
+		stop := startTicker(prog, opts.OnProgress, opts.ProgressInterval)
+		defer func() {
+			stop()
+			opts.OnProgress(prog.Snapshot())
+		}()
+	}
+
+	pbar := spec.Workload.MeanPromptLen()
+	gbar := spec.Workload.MeanGenLen()
+	profiles, err := evalAll(ctx, &spec, opts, prog, cfgs, pbar, gbar)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Evaluated: len(cfgs)}
+	for i := range profiles {
+		if profiles[i].prescreened {
+			out.PreScreened++
+		}
+	}
+	if ctx.Err() != nil {
+		// A cancelled stage 1 leaves an unpredictable prefix of the
+		// profiles; composing a frontier from it would silently lie.
+		return out, ctx.Err()
+	}
+
+	out.Frontier, out.Feasible = compose(&spec, cfgs, profiles, pbar, gbar)
+	if len(out.Frontier) > 0 {
+		out.Best = &out.Frontier[0]
+	}
+	if prog != nil {
+		prog.AddCounts(search.Counts{Feasible: int64(out.Feasible)})
+	}
+	if useStore && ctx.Err() == nil {
+		opts.Cache.Store(spec, opts, out)
+	}
+	return out, ctx.Err()
+}
+
+// evalAll is stage 1: the parallel engine-profile evaluation. Workers pull
+// contiguous index spans and write into the dense profiles array; after
+// cancellation they keep draining so the producer's sends always complete.
+func evalAll(ctx context.Context, spec *Spec, opts Options, prog *search.Progress, cfgs []engineConfig, pbar, gbar int) ([]engineProfile, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var screen *preScreen
+	if !opts.DisablePreScreen {
+		screen = newPreScreen(spec, pbar+gbar)
+	}
+	profiles := make([]engineProfile, len(cfgs))
+	type span struct{ lo, hi int }
+	spans := make(chan span, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range spans {
+				if ctx.Err() != nil {
+					continue
+				}
+				var delta search.Counts
+				for i := s.lo; i < s.hi; i++ {
+					delta.Evaluated++
+					if screen != nil {
+						if err := screen.check(cfgs[i]); err != nil {
+							profiles[i].prescreened = true
+							delta.PreScreened++
+							continue
+						}
+					}
+					profiles[i] = evalEngine(spec, cfgs[i], pbar, gbar)
+				}
+				if prog != nil {
+					prog.AddCounts(delta)
+				}
+			}
+		}()
+	}
+produce:
+	for lo := 0; lo < len(cfgs); lo += engineChunk {
+		hi := lo + engineChunk
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		select {
+		case <-ctx.Done():
+			break produce
+		case spans <- span{lo, hi}:
+		}
+	}
+	close(spans)
+	wg.Wait()
+	// Surface the lowest-sequence spec-level failure deterministically.
+	for i := range profiles {
+		if profiles[i].err != nil {
+			return nil, profiles[i].err
+		}
+	}
+	return profiles, nil
+}
+
+// compose is stage 2: serial closed-form composition of deployments from
+// the engine profiles. For every feasible engine it enumerates colocated
+// replica counts and (when enabled) disaggregated decode/prefill pool
+// splits, keeps the SLO-feasible ones, and streams them through the Pareto
+// compactor. Being serial over the deterministic profile order, its output
+// is independent of stage 1's scheduling by construction.
+func compose(spec *Spec, cfgs []engineConfig, profiles []engineProfile, pbar, gbar int) ([]Deployment, int) {
+	// The unit price is validated by Spec.Validate, so ProcHour cannot fail.
+	hourly, _ := tco.ProcHour(spec.Assumptions)
+	slo := spec.Workload.SLO
+
+	// One prompt's full-model KV cache crosses the scale-out network from
+	// the prefill pool to a decode replica (disaggregated mode).
+	kvShip := units.Bytes(2*pbar*spec.Model.Hidden*2) * units.Bytes(spec.Model.Blocks)
+	so := spec.System.ScaleOut()
+	kvT := comm.Time(&so, comm.P2P, 2, kvShip)
+
+	var fr frontier
+	feasible := 0
+	seq := 0
+	for i := range profiles {
+		p := &profiles[i]
+		if !p.ok {
+			continue
+		}
+		cfg := cfgs[i]
+		engineProcs := cfg.tp * cfg.pp
+		maxR := spec.Space.Procs / engineProcs
+		if spec.Space.MaxReplicas > 0 && maxR > spec.Space.MaxReplicas {
+			maxR = spec.Space.MaxReplicas
+		}
+
+		// Colocated continuous batching: the engine retires cfg.batch
+		// sequences every ḡ steps and owes their prefill work in return;
+		// chunked across the window, each decode step (on each stage)
+		// carries 1/(ḡ·PP) of a full-batch prefill.
+		tpot := p.est.StepTime + p.est.PrefillTime/units.Seconds(gbar)
+		ttft := maxSec(p.prefill1) + tpot
+		perStage := units.Seconds(float64(cfg.batch) / p.est.TokensPerSec)
+		interf := p.est.PrefillTime / units.Seconds(gbar*cfg.pp)
+		perReplica := float64(cfg.batch) / float64(perStage+interf)
+		for r := 1; r <= maxR; r++ {
+			seq++
+			if tpot > slo.TPOT || ttft > slo.TTFT {
+				continue
+			}
+			feasible++
+			procs := r * engineProcs
+			cluster := float64(r) * perReplica
+			fr.push(Deployment{
+				Seq: seq, TP: cfg.tp, PP: cfg.pp, Batch: cfg.batch, KVOffload: cfg.kvOffload,
+				Replicas: r, Procs: procs,
+				TTFT: ttft, TPOT: tpot,
+				UserTokensPerSec:     1 / float64(tpot),
+				ClusterTokensPerSec:  cluster,
+				CostPerMToken:        costPerMToken(procs, cluster, hourly),
+				DecodeBandwidthBound: p.est.DecodeBandwidthBound,
+			})
+		}
+
+		if !spec.Space.Disaggregate {
+			continue
+		}
+		// Disaggregated pools: decode replicas run pure decode (no prefill
+		// interference), a separately-sized prefill pool keeps up with the
+		// retirement rate, and each admitted request pays the KV shipment
+		// on its TTFT path.
+		tpotD := p.est.StepTime
+		tputD := p.est.TokensPerSec
+		ttftD := maxSec(p.prefillP1) + kvT + tpotD
+		// Each decode replica retires tputD/ḡ requests per second; a
+		// prefill replica completes one mean prompt per prefillPMean.
+		reqRate := tputD / float64(gbar)
+		for rd := 1; rd <= maxR; rd++ {
+			rp := int(math.Ceil(float64(rd) * reqRate * float64(p.prefillPMean)))
+			if rp < 1 {
+				rp = 1
+			}
+			if spec.Space.MaxReplicas > 0 && rp > spec.Space.MaxReplicas {
+				break
+			}
+			procs := rd*engineProcs + rp*engineProcs
+			if procs > spec.Space.Procs {
+				break
+			}
+			seq++
+			if tpotD > slo.TPOT || ttftD > slo.TTFT {
+				continue
+			}
+			feasible++
+			cluster := float64(rd) * tputD
+			fr.push(Deployment{
+				Seq: seq, TP: cfg.tp, PP: cfg.pp, Batch: cfg.batch, KVOffload: cfg.kvOffload,
+				Disaggregated: true, Replicas: rd, PrefillReplicas: rp, Procs: procs,
+				TTFT: ttftD, TPOT: tpotD, KVTransferTime: kvT,
+				UserTokensPerSec:     1 / float64(tpotD),
+				ClusterTokensPerSec:  cluster,
+				CostPerMToken:        costPerMToken(procs, cluster, hourly),
+				DecodeBandwidthBound: p.est.DecodeBandwidthBound,
+			})
+		}
+	}
+	fr.compact()
+	return fr.pts, feasible
+}
+
+// costPerMToken is tco.CostPerMToken with the hourly unit price hoisted out
+// of the composition loop.
+func costPerMToken(procs int, tokensPerSec, hourly float64) float64 {
+	return float64(procs) * hourly / (tokensPerSec * 3_600) * 1e6
+}
+
+func maxSec(xs []units.Seconds) units.Seconds {
+	var m units.Seconds
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// frontier accumulates candidate deployments and keeps only the Pareto-
+// optimal set over (UserTokensPerSec ↑, ClusterTokensPerSec ↑,
+// CostPerMToken ↓). Compaction is order-independent: the surviving set of a
+// candidate stream is the same however the stream is buffered, and
+// objective-equal duplicates keep only the lowest sequence number — both
+// necessary for the byte-identical-output contract.
+type frontier struct {
+	pts []Deployment
+}
+
+func (f *frontier) push(d Deployment) {
+	f.pts = append(f.pts, d)
+	if len(f.pts) >= frontierCompactAt {
+		f.compact()
+	}
+}
+
+// compact sorts by (cost asc, user rate desc, cluster rate desc, seq asc)
+// and drops every point weakly dominated by an earlier survivor; a point
+// equal on all three objectives counts as dominated, so each objective
+// triple keeps exactly one canonical (lowest-seq) representative.
+func (f *frontier) compact() {
+	sort.Slice(f.pts, func(i, j int) bool {
+		a, b := &f.pts[i], &f.pts[j]
+		if a.CostPerMToken != b.CostPerMToken {
+			return a.CostPerMToken < b.CostPerMToken
+		}
+		if a.UserTokensPerSec != b.UserTokensPerSec {
+			return a.UserTokensPerSec > b.UserTokensPerSec
+		}
+		if a.ClusterTokensPerSec != b.ClusterTokensPerSec {
+			return a.ClusterTokensPerSec > b.ClusterTokensPerSec
+		}
+		return a.Seq < b.Seq
+	})
+	kept := f.pts[:0]
+	for _, d := range f.pts {
+		dominated := false
+		for k := range kept {
+			if dominates(&kept[k], &d) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, d)
+		}
+	}
+	f.pts = kept
+}
+
+// dominates reports whether a is at least as good as b on every objective
+// (equality on all three counts, deduplicating the frontier).
+func dominates(a, b *Deployment) bool {
+	return a.CostPerMToken <= b.CostPerMToken &&
+		a.UserTokensPerSec >= b.UserTokensPerSec &&
+		a.ClusterTokensPerSec >= b.ClusterTokensPerSec
+}
+
+// SizeResult is one point of the right-sizing sweep.
+type SizeResult struct {
+	// Procs is the cluster processor budget of this point.
+	Procs int `json:"procs"`
+	// Result is the full serving search at that budget.
+	Result Result `json:"result"`
+}
+
+// Sweep is the serving right-sizing sweep: one Search per processor budget,
+// sharing the worker budget the way search.SystemSize does — min(sizes,
+// budget) sweeps in flight, each with its proportional worker share, so the
+// aggregate never exceeds the budget. Each point is itself deterministic,
+// so the sweep is too.
+func Sweep(ctx context.Context, spec Spec, sizes []int, opts Options) ([]SizeResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.OnProgress != nil {
+		if opts.Progress == nil {
+			opts.Progress = &search.Progress{}
+		}
+		opts.Progress.MarkStart()
+		stop := startTicker(opts.Progress, opts.OnProgress, opts.ProgressInterval)
+		defer func() {
+			stop()
+			opts.OnProgress(opts.Progress.Snapshot())
+		}()
+	}
+	budget := opts.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	concurrent := len(sizes)
+	if concurrent > budget {
+		concurrent = budget
+	}
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	perSize := budget / concurrent
+	if perSize < 1 {
+		perSize = 1
+	}
+	out := make([]SizeResult, len(sizes))
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, concurrent)
+	for i, n := range sizes {
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			defer func() { <-sem }()
+			o := opts
+			o.Workers = perSize
+			// The ticker belongs to the sweep's caller, not each size.
+			o.OnProgress = nil
+			sp := spec
+			sp.Space.Procs = n
+			res, err := Search(ctx, sp, o)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			out[i] = SizeResult{Procs: n, Result: res}
+		}(i, n)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, ctx.Err()
+}
+
+// startTicker runs cb about every interval until the returned stop function
+// is called; stop blocks until the ticker goroutine has exited.
+func startTicker(p *search.Progress, cb func(search.ProgressSnapshot), interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				cb(p.Snapshot())
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}

@@ -108,6 +108,39 @@ func TrainingRun(res perf.Result, tokens float64, a Assumptions) (RunCost, error
 	return c, nil
 }
 
+// ProcHour returns the fully-loaded cost of one processor-hour under the
+// assumptions: amortized capex, energy at the facility PUE, and opex. It is
+// the serving-side unit price — a deployment's $/Mtoken is procs × ProcHour
+// divided by the tokens it generates per hour.
+func ProcHour(a Assumptions) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	const hoursPerYear = 365.25 * 24 // consistent with TrainingRun's year
+	capex := a.CapexPerGPU / (a.AmortizationYears * hoursPerYear)
+	opex := a.OpexPerGPUYear / hoursPerYear
+	energy := a.GPUPowerWatts / 1_000 * a.PUE * a.EnergyCostPerKWh
+	return capex + energy + opex, nil
+}
+
+// CostPerMToken prices a serving deployment of procs processors generating
+// tokensPerSec aggregate tokens per second, in dollars per million generated
+// tokens.
+func CostPerMToken(procs int, tokensPerSec float64, a Assumptions) (float64, error) {
+	if procs <= 0 {
+		return 0, fmt.Errorf("tco: procs must be positive, got %d", procs)
+	}
+	if tokensPerSec <= 0 {
+		return 0, fmt.Errorf("tco: deployment carries no throughput")
+	}
+	hourly, err := ProcHour(a)
+	if err != nil {
+		return 0, err
+	}
+	tokensPerHour := tokensPerSec * 3_600
+	return float64(procs) * hourly / tokensPerHour * 1e6, nil
+}
+
 // Compare returns how much money and time plan B saves over plan A for the
 // same token budget (negative values mean B is worse).
 func Compare(a, b RunCost) (dollarsSaved, daysSaved float64) {
