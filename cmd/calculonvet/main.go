@@ -1,7 +1,8 @@
 // calculonvet runs the repo's invariant analyzers (internal/lint) over the
 // module: determinism of map-order-sensitive accumulation, ctx-first
 // cancellation plumbing, atomic-only counter access, FMA-safe ordered float
-// arithmetic, and no silently dropped errors at the config/CLI boundary.
+// arithmetic, no silently dropped errors at the config/CLI/store boundary,
+// and dimensionally sound quantity arithmetic over the performance model.
 //
 // Usage:
 //

@@ -64,10 +64,10 @@ func Time(n *system.Network, op Op, g int, tensor units.Bytes) units.Seconds {
 	// library is assumed to pick the better of the ring ((g−1) serialized
 	// hops) and a recursive-halving/doubling schedule (⌈log₂ g⌉ rounds with
 	// the same total bytes), as production collective libraries do.
-	chunk := tensor / units.Bytes(g)
+	chunk := tensor.DivN(float64(g))
 	bw := n.EffectiveBandwidth(chunk)
-	steps := units.Seconds(float64(latencySteps(g))) * n.Latency
-	phase := (tensor * units.Bytes(g-1) / units.Bytes(g)).Div(bw)
+	steps := n.Latency.Times(float64(latencySteps(g)))
+	phase := tensor.Times(float64(g - 1)).DivN(float64(g)).Div(bw)
 	switch op {
 	case ReduceScatter, AllGather:
 		return phase + steps
@@ -109,13 +109,13 @@ func Volume(op Op, g int, tensor units.Bytes) units.Bytes {
 	if g <= 1 {
 		return 0
 	}
-	frac := units.Bytes(g-1) / units.Bytes(g)
+	frac := float64(g-1) / float64(g)
 	switch op {
 	case ReduceScatter, AllGather:
-		return tensor * frac
+		return tensor.Times(frac)
 	case Broadcast:
 		return tensor
 	default:
-		return 2 * tensor * frac
+		return (2 * tensor).Times(frac)
 	}
 }

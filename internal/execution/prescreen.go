@@ -67,7 +67,7 @@ func (p *PreScreen) Check(st Strategy) error {
 
 	bp := st.BlocksPerProc(p.m)
 	blockW := layers.BlockWeightBytes(p.m, st.TP)
-	weights := blockW * units.Bytes(bp)
+	weights := blockW.Times(float64(bp))
 
 	var mem1, mem2 units.Bytes
 	w1 := weights
@@ -80,7 +80,7 @@ func (p *PreScreen) Check(st Strategy) error {
 	if !st.Inference {
 		grads := weights
 		if st.OptimSharding && st.DPOverlap {
-			grads = minB(weights, units.Bytes(3*blockW)+weights/units.Bytes(st.DP))
+			grads = minB(weights, units.Bytes(3*blockW)+weights.DivN(float64(st.DP)))
 		}
 		g1 := grads
 		if st.WeightOffload {
@@ -91,11 +91,11 @@ func (p *PreScreen) Check(st Strategy) error {
 
 		optim := 6 * weights
 		if st.OptimSharding {
-			optim /= units.Bytes(st.DP)
+			optim = optim.DivN(float64(st.DP))
 		}
 		o1 := optim
 		if st.OptimOffload {
-			o1 = minB(optim, 3*(optim/units.Bytes(bp)))
+			o1 = minB(optim, 3*optim.DivN(float64(bp)))
 			mem2 += optim - o1
 		}
 		mem1 += o1

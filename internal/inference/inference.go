@@ -81,6 +81,12 @@ type Result struct {
 // parallelism degrees, microbatching, and fused-layer switches of the
 // strategy apply; training-only techniques must be off (the strategy is
 // validated with Inference forced on).
+//
+// The memory rows must round identically to the serving pre-screen's
+// analytic bound on every architecture, so the arithmetic is kept FMA-free
+// (see docs/LINT.md).
+//
+//calculonvet:ordered
 func Estimate(m model.LLM, sys system.System, st execution.Strategy, w Workload) (Result, error) {
 	if err := w.Validate(); err != nil {
 		return Result{}, err
@@ -121,7 +127,7 @@ func Estimate(m model.LLM, sys system.System, st execution.Strategy, w Workload)
 	blockDense := units.FLOPs(2 * blockParams * b)
 	blockAttn := units.FLOPs(4 * b * float64(ctx) * float64(m.Hidden) / float64(st.TP))
 	blockFLOPs := blockDense + blockAttn
-	procFLOPs := blockFLOPs * units.FLOPs(blocksPerProc)
+	procFLOPs := blockFLOPs.Times(float64(blocksPerProc))
 	// The per-op size keys the efficiency curve: decode GEMVs are small and
 	// run far from peak, which is exactly why decode is bandwidth-bound.
 	rate := sys.Compute.MatrixRate(blockFLOPs)
@@ -136,10 +142,10 @@ func Estimate(m model.LLM, sys system.System, st execution.Strategy, w Workload)
 	if w.KVOffload && !sys.Mem2.Present() {
 		return Result{}, fmt.Errorf("%w: KV offload requires a second memory tier", perf.ErrInfeasible)
 	}
-	memT := sys.Mem1.AccessTime((weights + kvPerBlock) * units.Bytes(blocksPerProc))
+	memT := sys.Mem1.AccessTime((weights + kvPerBlock).Times(float64(blocksPerProc)))
 	if w.KVOffload {
-		kvAll := kvPerBlock * units.Bytes(blocksPerProc)
-		memT = sys.Mem1.AccessTime(weights*units.Bytes(blocksPerProc)) +
+		kvAll := kvPerBlock.Times(float64(blocksPerProc))
+		memT = sys.Mem1.AccessTime(weights.Times(float64(blocksPerProc))) +
 			kvAll.Div(sys.Mem2.EffectiveBandwidth(kvAll))
 	}
 
@@ -163,28 +169,28 @@ func Estimate(m model.LLM, sys system.System, st execution.Strategy, w Workload)
 		} else {
 			commOne = comm.Time(net, comm.AllReduce, st.TP, vec)
 		}
-		step += units.Seconds(2*blocksPerProc) * commOne
+		step += commOne.Times(float64(2 * blocksPerProc))
 	}
 	// A token's latency crosses every pipeline stage plus the boundary
 	// hops; steady-state throughput is set by one stage's step time because
 	// different sequences of the batch keep the other stages busy
 	// (autoregressive decoding cannot pipeline a single sequence).
-	stepLatency := step*units.Seconds(st.PP) + p2pLat(sys, st, m, w)
+	stepLatency := step.Times(float64(st.PP)) + p2pLat(sys, st, m, w)
 	res.StepTime = stepLatency
 	if st.PP > 1 {
-		res.TokensPerSec = b * float64(st.DP) / float64(step)
+		res.TokensPerSec = step.Rate(b * float64(st.DP))
 	} else {
-		res.TokensPerSec = b * float64(st.DP) / float64(stepLatency)
+		res.TokensPerSec = stepLatency.Rate(b * float64(st.DP))
 	}
-	res.TotalTime = res.PrefillTime + units.Seconds(w.GenLen)*res.StepTime
+	res.TotalTime = res.PrefillTime + res.StepTime.Times(float64(w.GenLen))
 
-	res.KVCacheBytes = kvPerBlock * units.Bytes(blocksPerProc)
-	res.WeightBytes = weights * units.Bytes(blocksPerProc)
-	res.Mem1Used = res.KVCacheBytes + res.WeightBytes + 2*tot.MaxOutputBytes
+	res.KVCacheBytes = kvPerBlock.Times(float64(blocksPerProc))
+	res.WeightBytes = weights.Times(float64(blocksPerProc))
+	res.Mem1Used = res.KVCacheBytes + res.WeightBytes + tot.MaxOutputBytes.Times(2)
 	if w.KVOffload {
 		// The cache lives in the second tier; HBM keeps a block-sized
 		// streaming buffer.
-		res.Mem1Used = res.WeightBytes + 3*kvPerBlock + 2*tot.MaxOutputBytes
+		res.Mem1Used = res.WeightBytes + kvPerBlock.Times(3) + tot.MaxOutputBytes.Times(2)
 		if res.KVCacheBytes > sys.Mem2.Capacity {
 			return Result{}, fmt.Errorf("%w: KV cache %v exceeds offload tier %v",
 				perf.ErrInfeasible, res.KVCacheBytes, sys.Mem2.Capacity)
@@ -205,5 +211,5 @@ func p2pLat(sys system.System, st execution.Strategy, m model.LLM, w Workload) u
 	}
 	net := sys.NetworkPtrFor(st.TP * st.PP)
 	vec := units.Bytes(w.Batch*m.Hidden) * 2
-	return units.Seconds(st.PP-1) * comm.Time(net, comm.P2P, 2, vec)
+	return comm.Time(net, comm.P2P, 2, vec).Times(float64(st.PP - 1))
 }

@@ -77,7 +77,7 @@ type Layer struct {
 }
 
 // Params returns the number of parameters in the layer on this processor.
-func (l Layer) Params() float64 { return float64(l.WeightBytes) / 2 }
+func (l Layer) Params() float64 { return l.WeightBytes.Ratio(2) }
 
 // Shard describes how a block is partitioned and executed on one processor.
 type Shard struct {

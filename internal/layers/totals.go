@@ -27,7 +27,11 @@ type Totals struct {
 	MaxOutputBytes units.Bytes
 }
 
-// Sum aggregates the layer graph.
+// Sum aggregates the layer graph in slice order; every downstream
+// equivalence suite pins these totals bit for bit, so the fold is kept
+// FMA-free and order-stable.
+//
+//calculonvet:ordered
 func Sum(ls []Layer) Totals {
 	var t Totals
 	for _, l := range ls {
@@ -52,4 +56,4 @@ func Sum(ls []Layer) Totals {
 }
 
 // Params returns the per-processor parameter count of the block.
-func (t Totals) Params() float64 { return float64(t.WeightBytes) / float64(dtype) }
+func (t Totals) Params() float64 { return t.WeightBytes.Ratio(dtype) }

@@ -31,11 +31,15 @@ func TestNakedErr(t *testing.T) {
 	linttest.Run(t, lint.NakedErr, "testdata/src/nakederr")
 }
 
+func TestDimCheck(t *testing.T) {
+	linttest.Run(t, lint.DimCheck, "testdata/src/dimcheck")
+}
+
 // TestByName pins the flag-parsing surface of the suite.
 func TestByName(t *testing.T) {
 	all, err := lint.ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want all 5", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want all 6", len(all), err)
 	}
 	two, err := lint.ByName("maprange, floatorder")
 	if err != nil || len(two) != 2 || two[0].Name != "maprange" || two[1].Name != "floatorder" {

@@ -1,0 +1,484 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DimCheck proves the dimensional soundness of the performance model. The
+// whole value of an analytical model (paper §5–§7) is numbers trustworthy
+// without hardware; a single Bytes+Seconds or FLOPs/BytesPerSec mix-up
+// corrupts every strategy the search ranks, and a *consistently* wrong
+// formula slips past both the 1e-9 goldens and the randomized equivalence
+// suites. The analyzer assigns dimensions to the internal/units named types
+// (Bytes=B, Seconds=s, BytesPerSec=B/s, FLOPs=flop, FLOPsPerSec=flop/s),
+// infers dimensions bottom-up through arithmetic in the model packages, and
+// reports three violation classes:
+//
+//   - (a) +, -, and comparisons whose operands carry different dimensions;
+//   - (b) a * or / result whose inferred dimension disagrees with the
+//     unit-typed slot it lands in — assigned, returned, passed as an
+//     argument or receiver, or stored in a struct field (e.g. Bytes/Seconds
+//     stored back in Bytes);
+//   - (c) conversions that launder a dimension: float64(x) erasing a
+//     dimensioned value, or a unit-type conversion re-tagging one concrete
+//     dimension as another. Functions annotated //calculonvet:dimensionless
+//     (String/format/serialization boundaries) are exempt from (c) only.
+//
+// Untyped and typed constants are dimensionally polymorphic — they adapt to
+// the dimension the context requires — so `3*blockW`, `units.GiB`, and the
+// dtype byte-width constants need no ceremony. Converting a dimensionless
+// scalar into a unit type mints a quantity (units.Bytes(28*params)); that is
+// how values are born and is always allowed. Conversions to integer types
+// are outside the algebra: they capture magnitudes for error messages, not
+// quantities the model computes with.
+var DimCheck = &Analyzer{
+	Name: "dimcheck",
+	Doc:  "arithmetic over internal/units quantities must be dimensionally consistent, with no laundering conversions",
+	Run:  runDimCheck,
+}
+
+// dimCheckScoped limits the analyzer to the model packages whose arithmetic
+// realizes the paper's equations. Single-segment paths are the golden-test
+// fixtures (and the root facade, which only forwards).
+func dimCheckScoped(pkgPath string) bool {
+	for _, s := range []string{
+		"internal/perf",
+		"internal/layers",
+		"internal/comm",
+		"internal/inference",
+		"internal/serving",
+		"internal/execution",
+		"internal/tco",
+	} {
+		if strings.HasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return !strings.Contains(pkgPath, "/")
+}
+
+// dimen is a dimension: integer exponents over the model's three base
+// dimensions. Bytes is {b:1}, BytesPerSec {b:1,s:-1}; the zero vector is a
+// dimensionless scalar.
+type dimen struct{ b, s, f int8 }
+
+func (d dimen) zero() bool        { return d == dimen{} }
+func (d dimen) mul(o dimen) dimen { return dimen{d.b + o.b, d.s + o.s, d.f + o.f} }
+func (d dimen) div(o dimen) dimen { return dimen{d.b - o.b, d.s - o.s, d.f - o.f} }
+
+func (d dimen) String() string {
+	if d.zero() {
+		return "dimensionless"
+	}
+	var num, den []string
+	for _, t := range []struct {
+		e   int8
+		sym string
+	}{{d.b, "B"}, {d.s, "s"}, {d.f, "flop"}} {
+		switch {
+		case t.e > 0:
+			num = append(num, dimPow(t.sym, t.e))
+		case t.e < 0:
+			den = append(den, dimPow(t.sym, -t.e))
+		}
+	}
+	n := strings.Join(num, "·")
+	if n == "" {
+		n = "1"
+	}
+	if len(den) == 0 {
+		return n
+	}
+	return n + "/" + strings.Join(den, "·")
+}
+
+func dimPow(sym string, e int8) string {
+	switch e {
+	case 1:
+		return sym
+	case 2:
+		return sym + "²"
+	case 3:
+		return sym + "³"
+	}
+	return fmt.Sprintf("%s^%d", sym, e)
+}
+
+// dimVal is the inference result for one expression: a concrete dimension,
+// or "poly" — a constant (or a value outside the algebra) that adapts to
+// whatever dimension the context requires.
+type dimVal struct {
+	concrete bool
+	d        dimen
+}
+
+var polyDim = dimVal{}
+
+func concreteDim(d dimen) dimVal { return dimVal{concrete: true, d: d} }
+
+// unitDim maps a named type from internal/units to its dimension.
+func unitDim(t types.Type) (dimen, bool) {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return dimen{}, false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return dimen{}, false
+	}
+	if p := obj.Pkg().Path(); p != "units" && !strings.HasSuffix(p, "internal/units") {
+		return dimen{}, false
+	}
+	switch obj.Name() {
+	case "Bytes":
+		return dimen{b: 1}, true
+	case "Seconds":
+		return dimen{s: 1}, true
+	case "FLOPs":
+		return dimen{f: 1}, true
+	case "BytesPerSec":
+		return dimen{b: 1, s: -1}, true
+	case "FLOPsPerSec":
+		return dimen{f: 1, s: -1}, true
+	}
+	return dimen{}, false
+}
+
+// staticDim is the dimension a value carries by virtue of its declared
+// type: the unit dimension, the zero vector for other numeric types, and
+// poly for everything outside the algebra (bools, strings, structs).
+func staticDim(t types.Type) dimVal {
+	if t == nil {
+		return polyDim
+	}
+	if d, ok := unitDim(t); ok {
+		return concreteDim(d)
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+		return concreteDim(dimen{})
+	}
+	return polyDim
+}
+
+func runDimCheck(pass *Pass) error {
+	if !dimCheckScoped(pass.PkgPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				c := &dimChecker{
+					pass:    pass,
+					memo:    map[ast.Expr]dimVal{},
+					launder: hasDirective(d.Doc, "dimensionless"),
+				}
+				var sig *types.Signature
+				if obj, ok := pass.Info.Defs[d.Name].(*types.Func); ok {
+					sig = obj.Type().(*types.Signature)
+				}
+				c.checkBody(d.Body, sig)
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				c := &dimChecker{pass: pass, memo: map[ast.Expr]dimVal{}}
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						c.checkValueSpec(vs)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// dimChecker infers dimensions over one function (or one package-level var
+// block). The memo dedups inference and therefore reporting: ast.Inspect
+// visits parents before children, so a parent's inference computes and
+// caches every subexpression before the walk reaches it.
+type dimChecker struct {
+	pass    *Pass
+	memo    map[ast.Expr]dimVal
+	launder bool // inside a //calculonvet:dimensionless function
+}
+
+// checkBody walks one function body: sinks add class (b) checks, while the
+// generic expression handlers guarantee classes (a) and (c) are reported
+// even for expressions that never reach a unit-typed slot.
+func (c *dimChecker) checkBody(body *ast.BlockStmt, sig *types.Signature) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if s, ok := c.pass.Info.TypeOf(x).(*types.Signature); ok {
+				c.checkBody(x.Body, s)
+			}
+			return false
+		case *ast.AssignStmt:
+			c.checkAssign(x)
+		case *ast.ReturnStmt:
+			c.checkReturn(x, sig)
+		case *ast.ValueSpec:
+			c.checkValueSpec(x)
+		case *ast.CallExpr:
+			c.checkCall(x)
+		case *ast.CompositeLit:
+			c.checkCompositeLit(x)
+		case *ast.BinaryExpr:
+			c.dimOf(x)
+		}
+		return true
+	})
+}
+
+func (c *dimChecker) dimOf(e ast.Expr) dimVal {
+	e = ast.Unparen(e)
+	if v, ok := c.memo[e]; ok {
+		return v
+	}
+	v := c.infer(e)
+	c.memo[e] = v
+	return v
+}
+
+func (c *dimChecker) infer(e ast.Expr) dimVal {
+	if tv, ok := c.pass.Info.Types[e]; ok && tv.Value != nil {
+		return polyDim // constants adapt to any dimension
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		return c.inferBinary(x)
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB || x.Op == token.ADD {
+			return c.dimOf(x.X)
+		}
+	case *ast.CallExpr:
+		if c.pass.Info.Types[x.Fun].IsType() && len(x.Args) == 1 {
+			return c.inferConversion(x)
+		}
+	}
+	return staticDim(c.pass.Info.TypeOf(e))
+}
+
+func (c *dimChecker) inferBinary(e *ast.BinaryExpr) dimVal {
+	switch e.Op {
+	case token.ADD, token.SUB:
+		x, y := c.dimOf(e.X), c.dimOf(e.Y)
+		if x.concrete && y.concrete && x.d != y.d {
+			c.pass.Reportf(e.Pos(), "dimension mismatch: %s %s %s", x.d, e.Op, y.d)
+		}
+		if x.concrete {
+			return x
+		}
+		return y
+	case token.MUL:
+		x, y := c.dimOf(e.X), c.dimOf(e.Y)
+		if !x.concrete && !y.concrete {
+			return polyDim
+		}
+		return concreteDim(x.d.mul(y.d))
+	case token.QUO:
+		x, y := c.dimOf(e.X), c.dimOf(e.Y)
+		if !x.concrete && !y.concrete {
+			return polyDim
+		}
+		return concreteDim(x.d.div(y.d))
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		x, y := c.dimOf(e.X), c.dimOf(e.Y)
+		if x.concrete && y.concrete && x.d != y.d {
+			c.pass.Reportf(e.Pos(), "dimension mismatch: %s %s %s", x.d, e.Op, y.d)
+		}
+		return polyDim
+	}
+	return staticDim(c.pass.Info.TypeOf(e))
+}
+
+// inferConversion handles T(x) conversions, the only place dimensions can
+// be created or destroyed.
+func (c *dimChecker) inferConversion(call *ast.CallExpr) dimVal {
+	target := c.pass.Info.TypeOf(call)
+	od := c.dimOf(call.Args[0])
+	if td, ok := unitDim(target); ok {
+		// Minting a quantity from a scalar is allowed (and a same-dimension
+		// conversion is the spec-defined rounding barrier floatorder asks
+		// for); re-tagging one concrete dimension as another is laundering.
+		if od.concrete && !od.d.zero() && od.d != td && !c.launder {
+			c.pass.Reportf(call.Pos(), "conversion re-tags a value of dimension %s as %s (dimension %s)",
+				od.d, c.typeName(target), td)
+		}
+		return concreteDim(td)
+	}
+	if b, ok := target.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+		if od.concrete && !od.d.zero() && !c.launder {
+			c.pass.Reportf(call.Pos(), "conversion to %s launders dimension %s; use a units helper (Ratio, Rate, Over, At) or annotate the function //calculonvet:dimensionless",
+				c.typeName(target), od.d)
+		}
+		return concreteDim(dimen{})
+	}
+	// Integer and non-numeric conversions are outside the algebra.
+	return polyDim
+}
+
+func (c *dimChecker) checkAssign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(s.Lhs) != len(s.Rhs) {
+			return // tuple assignment: dimensions come from static types
+		}
+		for i := range s.Lhs {
+			c.checkSink(s.Rhs[i], c.pass.Info.TypeOf(s.Lhs[i]), "assigned to")
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		lt := staticDim(c.pass.Info.TypeOf(s.Lhs[0]))
+		rd := c.dimOf(s.Rhs[0])
+		if lt.concrete && rd.concrete && lt.d != rd.d {
+			c.pass.Reportf(s.Pos(), "dimension mismatch: %s %s %s", lt.d, s.Tok, rd.d)
+		}
+	case token.MUL_ASSIGN, token.QUO_ASSIGN:
+		// x *= y and x /= y keep x's declared dimension only when y is
+		// dimensionless; scale by counts through Times/DivN instead.
+		if _, unit := unitDim(c.pass.Info.TypeOf(s.Lhs[0])); !unit {
+			return
+		}
+		rd := c.dimOf(s.Rhs[0])
+		if rd.concrete && !rd.d.zero() {
+			c.pass.Reportf(s.Pos(), "%s by a value of dimension %s changes the left side's dimension; use Times/DivN or an explicit quotient",
+				s.Tok, rd.d)
+		}
+	}
+}
+
+func (c *dimChecker) checkReturn(s *ast.ReturnStmt, sig *types.Signature) {
+	if sig == nil || len(s.Results) == 0 || len(s.Results) != sig.Results().Len() {
+		return
+	}
+	for i, r := range s.Results {
+		c.checkSink(r, sig.Results().At(i).Type(), "returned as")
+	}
+}
+
+func (c *dimChecker) checkValueSpec(vs *ast.ValueSpec) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, v := range vs.Values {
+		c.checkSink(v, c.pass.Info.TypeOf(vs.Names[i]), "assigned to")
+	}
+}
+
+// checkCall applies class (b) to argument and receiver positions of real
+// calls, and routes conversions into the inference (class (c)).
+func (c *dimChecker) checkCall(call *ast.CallExpr) {
+	if c.pass.Info.Types[call.Fun].IsType() {
+		c.dimOf(call)
+		return
+	}
+	sig, ok := c.pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // builtins: operands are still covered by the generic walk
+	}
+	params := sig.Params()
+	for i, a := range call.Args {
+		if i >= params.Len() {
+			break
+		}
+		pt := params.At(i).Type()
+		if sig.Variadic() && i == params.Len()-1 {
+			if call.Ellipsis.IsValid() {
+				c.checkSink(a, pt, "passed as")
+				continue
+			}
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+			for _, rest := range call.Args[i:] {
+				c.checkSink(rest, pt, "passed as")
+			}
+			break
+		}
+		c.checkSink(a, pt, "passed as")
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := c.pass.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					c.checkSink(sel.X, recv.Type(), "used as receiver of")
+				}
+			}
+		}
+	}
+}
+
+func (c *dimChecker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := c.pass.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch u := types.Unalias(t).Underlying().(type) {
+	case *types.Struct:
+		fields := map[string]types.Type{}
+		for i := 0; i < u.NumFields(); i++ {
+			fields[u.Field(i).Name()] = u.Field(i).Type()
+		}
+		for i, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if ft, ok := fields[key.Name]; ok {
+						c.checkSink(kv.Value, ft, "stored in field "+key.Name+" as")
+					}
+				}
+				continue
+			}
+			if i < u.NumFields() {
+				c.checkSink(el, u.Field(i).Type(), "stored in field "+u.Field(i).Name()+" as")
+			}
+		}
+	case *types.Slice:
+		for _, el := range lit.Elts {
+			c.checkLitElem(el, u.Elem())
+		}
+	case *types.Array:
+		for _, el := range lit.Elts {
+			c.checkLitElem(el, u.Elem())
+		}
+	case *types.Map:
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				c.checkSink(kv.Value, u.Elem(), "stored in")
+			}
+		}
+	}
+}
+
+func (c *dimChecker) checkLitElem(el ast.Expr, elem types.Type) {
+	if kv, ok := el.(*ast.KeyValueExpr); ok {
+		el = kv.Value
+	}
+	c.checkSink(el, elem, "stored in")
+}
+
+// checkSink reports class (b): e's inferred dimension disagrees with the
+// dimension of the unit-typed slot it lands in.
+func (c *dimChecker) checkSink(e ast.Expr, target types.Type, ctx string) {
+	td, unit := unitDim(target)
+	ed := c.dimOf(e)
+	if !unit {
+		return
+	}
+	if ed.concrete && ed.d != td {
+		c.pass.Reportf(e.Pos(), "value of dimension %s %s %s (dimension %s)",
+			ed.d, ctx, c.typeName(target), td)
+	}
+}
+
+func (c *dimChecker) typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

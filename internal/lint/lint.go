@@ -3,14 +3,15 @@
 // library's go/ast and go/types. It exists because the invariants the
 // search engines rest on — deterministic float accumulation order, ctx-first
 // cancellation, atomic-only counter access, FMA-safe ordered arithmetic,
-// no silently dropped errors around config I/O — are contracts that
-// randomized runtime tests can only sample; the analyzers here prove them
-// over every function at compile time and fail CI on violations.
+// no silently dropped errors around config I/O, dimensionally sound
+// quantity arithmetic — are contracts that randomized runtime tests can
+// only sample; the analyzers here prove them over every function at
+// compile time and fail CI on violations.
 //
 // The package defines the Analyzer/Pass/Diagnostic trio (mirroring
 // go/analysis closely enough that a future migration to the real
 // multichecker is mechanical), a package loader that type-checks the module
-// from source using `go list -export` compile artifacts, and two source
+// from source using `go list -export` compile artifacts, and the source
 // annotations the analyzers honor:
 //
 //	//calculonvet:counter    on a struct field (or a struct's doc comment):
@@ -24,6 +25,11 @@
 //	//calculonvet:unordered  on (or immediately above) a map-range statement
 //	                         or sync.Map.Range call: the iteration provably
 //	                         feeds only order-insensitive sinks.
+//	//calculonvet:dimensionless
+//	                         on a function: it is a format/serialization
+//	                         boundary, so dimcheck permits conversions that
+//	                         erase a dimension (float64(bytes) fed to a
+//	                         formatter) inside it.
 package lint
 
 import (
@@ -116,7 +122,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full calculonvet analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{MapRange, CtxFirst, AtomicCounter, FloatOrder, NakedErr}
+	return []*Analyzer{MapRange, CtxFirst, AtomicCounter, FloatOrder, NakedErr, DimCheck}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

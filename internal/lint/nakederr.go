@@ -27,12 +27,16 @@ var NakedErr = &Analyzer{
 }
 
 // nakedErrScoped limits the analyzer to the packages whose dropped errors
-// corrupt results silently. Single-segment paths are the golden-test
-// fixtures.
+// corrupt results silently: the CLIs, config parsing, and the stateful
+// subsystems (result persistence, the HTTP service, serving search).
+// Single-segment paths are the golden-test fixtures.
 func nakedErrScoped(pkgPath string) bool {
 	return strings.Contains(pkgPath, "/cmd/") ||
 		strings.HasPrefix(pkgPath, "cmd/") ||
 		strings.HasSuffix(pkgPath, "internal/config") ||
+		strings.HasSuffix(pkgPath, "internal/resultstore") ||
+		strings.HasSuffix(pkgPath, "internal/service") ||
+		strings.HasSuffix(pkgPath, "internal/serving") ||
 		!strings.Contains(pkgPath, "/")
 }
 
@@ -63,14 +67,29 @@ func runNakedErr(pass *Pass) error {
 }
 
 // exemptCallee excludes the fmt print family, whose errors are discarded by
-// near-universal convention.
+// near-universal convention, and methods on *bytes.Buffer and
+// *strings.Builder, which are documented never to return an error (errcheck
+// ships the same default exclusions).
 func exemptCallee(pass *Pass, call *ast.CallExpr) bool {
 	fn, ok := calleeObj(pass.Info, call).(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return false
 	}
-	return fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print") ||
-		fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint")
+	if fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") ||
+		strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if p, ok := sig.Recv().Type().(*types.Pointer); ok {
+			if n, ok := p.Elem().(*types.Named); ok && n.Obj().Pkg() != nil {
+				path, name := n.Obj().Pkg().Path(), n.Obj().Name()
+				if path == "bytes" && name == "Buffer" || path == "strings" && name == "Builder" {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 func calleeName(pass *Pass, call *ast.CallExpr) string {

@@ -1,0 +1,145 @@
+// Package dimcheck is the golden-test fixture for the dimcheck analyzer.
+package dimcheck
+
+import (
+	"fmt"
+
+	"calculon/internal/units"
+)
+
+// --- class (a): +, -, and comparisons mixing dimensions -----------------
+
+func mixedAdd(b units.Bytes, t units.Seconds) units.Seconds {
+	return t + units.Seconds(b) // want "conversion re-tags a value of dimension B"
+}
+
+func mixedSub(b units.Bytes, bw units.BytesPerSec) {
+	_ = b - units.Bytes(bw) // want "conversion re-tags a value of dimension B/s"
+	_ = b + b.Times(2)      // ok: same dimension
+}
+
+func mixedAddRaw(f units.FLOPs, t units.Seconds, n int) {
+	_ = t + units.Seconds(n)*t          // want "dimension mismatch: s . s²"
+	_ = f/units.FLOPs(2) + f.Times(0.5) // ok: constants are polymorphic, so the divisor keeps the dimension
+}
+
+func mixedCompare(b units.Bytes, t units.Seconds) bool {
+	return float64(b) > float64(t) // want "launders dimension B" "launders dimension s"
+}
+
+func mixedCompareUnits(t units.Seconds, bw units.BytesPerSec, n int) bool {
+	if t > 0 { // ok: constants are polymorphic
+		return true
+	}
+	return t*units.Seconds(n) > units.Seconds(float64(bw)) // want "dimension mismatch: s² > s" "launders dimension B/s"
+}
+
+func mixedAccum(total units.Seconds, b units.Bytes, bw units.BytesPerSec) units.Seconds {
+	total += b.Over(bw) // ok: B/(B/s) = s through a typed helper
+	total += b.Div(bw)  // ok: the conventions-carrying spelling
+	total -= units.Seconds(0)
+	return total
+}
+
+// --- class (b): * and / results landing in a disagreeing unit type ------
+
+func mulIntoBytes(w units.Bytes, n int) units.Bytes {
+	return w * units.Bytes(n) // want "value of dimension B² returned as units.Bytes"
+}
+
+func mulIntoBytesOK(w units.Bytes, n int) units.Bytes {
+	return w.Times(float64(n)) // ok: scaling by a dimensionless count
+}
+
+func divLaunders(b units.Bytes, g int) {
+	chunk := b / units.Bytes(g) // want "value of dimension dimensionless assigned to units.Bytes"
+	_ = chunk
+	ok := b.DivN(float64(g)) // ok: dividing by a count keeps the dimension
+	_ = ok
+}
+
+func rateStoredAsTime(b units.Bytes, t units.Seconds) units.Seconds {
+	return units.Seconds(float64(b)) / t // want "launders dimension B" "value of dimension dimensionless returned as units.Seconds"
+}
+
+func quotientAsSeconds(t units.Seconds, bw units.BytesPerSec) units.Seconds {
+	return t / units.Seconds(float64(bw)) // want "value of dimension dimensionless returned as units.Seconds" "launders dimension B/s"
+}
+
+type breakdown struct {
+	Time units.Seconds
+	Mem  units.Bytes
+}
+
+func fieldSink(t units.Seconds, n int) breakdown {
+	return breakdown{
+		Time: units.Seconds(n) * t, // want "value of dimension s² stored in field Time"
+		Mem:  0,                    // ok: constant
+	}
+}
+
+func argSink(t units.Seconds, n int) units.Seconds {
+	return minSec(t, t*units.Seconds(n)) // want "value of dimension s² passed as"
+}
+
+func minSec(a, b units.Seconds) units.Seconds {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func receiverSink(b units.Bytes, bw units.BytesPerSec, n int) units.Seconds {
+	return (b * units.Bytes(n)).Div(bw) // want "value of dimension B² used as receiver of"
+}
+
+func opAssignSink(t units.Seconds, hop units.Seconds) units.Seconds {
+	t *= hop // want "by a value of dimension s changes the left side"
+	t /= 2   // ok: constant divisor
+	return t
+}
+
+// --- class (c): laundering conversions ----------------------------------
+
+func launder(t units.Seconds) float64 {
+	return float64(t) // want "conversion to float64 launders dimension s"
+}
+
+func launderOK(t units.Seconds, u units.Seconds) float64 {
+	return t.Ratio(u) // ok: a dimensionless quotient through a typed helper
+}
+
+func retag(b units.Bytes) units.FLOPs {
+	return units.FLOPs(b) // want "conversion re-tags a value of dimension B as units.FLOPs"
+}
+
+func mint(params float64, elems int) units.Bytes {
+	return units.Bytes(28*params) + units.Bytes(elems) // ok: minting from scalars
+}
+
+func barrier(blockW, weights units.Bytes) units.Bytes {
+	return units.Bytes(3*blockW) + weights // ok: same-dimension conversion is a rounding barrier
+}
+
+// String is a genuine format boundary: erasing dimensions to feed a
+// formatter is the annotation's purpose.
+//
+//calculonvet:dimensionless
+func render(t units.Seconds, b units.Bytes) string {
+	return fmt.Sprintf("%.3f s, %.0f bytes", float64(t), float64(b)) // ok: annotated boundary
+}
+
+// capture keeps magnitudes for a deferred error message; integer
+// conversions are outside the algebra.
+func capture(b units.Bytes) int64 {
+	return int64(b) // ok: integer conversions are out of scope
+}
+
+// poly proves constants adapt to any dimension, typed or untyped.
+func poly(w units.Bytes) units.Bytes {
+	const dtype units.Bytes = 2
+	if w > 80*units.GiB {
+		return 3 * w * dtype / dtype
+	}
+	return w.Times(3)
+}

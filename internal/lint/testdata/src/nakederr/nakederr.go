@@ -2,9 +2,11 @@
 package nakederr
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // write drops every error a file write can produce.
@@ -38,6 +40,19 @@ func bail(f *os.File, err error) error {
 		return err
 	}
 	return nil
+}
+
+// buffered proves the in-memory writers are exempt: *bytes.Buffer and
+// *strings.Builder are documented never to return an error.
+func buffered(rows [][]byte) string {
+	var buf bytes.Buffer
+	var sb strings.Builder
+	for _, row := range rows {
+		buf.Write(row)      // ok: bytes.Buffer never fails
+		buf.WriteByte('\n') // ok
+		sb.Write(row)       // ok: strings.Builder never fails
+	}
+	return buf.String() + sb.String()
 }
 
 // checked is the clean shape: every error reaches the caller.

@@ -293,7 +293,7 @@ func (r *Runner) runDelta(d *deltaState, st execution.Strategy, out *Result) (Ru
 		System:            sys.Name,
 		Strategy:          st,
 		BatchTime:         batch,
-		SampleRate:        float64(m.Batch) / float64(batch),
+		SampleRate:        batch.Rate(float64(m.Batch)),
 		Time:              t,
 		Mem1:              mem1,
 		Mem2:              mem2,
@@ -302,7 +302,7 @@ func (r *Runner) runDelta(d *deltaState, st execution.Strategy, out *Result) (Ru
 		ProcsUsed:         st.Procs(),
 	}
 	useful := r.usefulFLOPs(st)
-	peak := float64(st.Procs()) * float64(sys.Compute.MatrixPeak)
-	out.MFU = float64(useful) / (float64(batch) * peak)
+	peak := sys.Compute.MatrixPeak.Times(float64(st.Procs()))
+	out.MFU = useful.Ratio(peak.For(batch))
 	return info, nil
 }

@@ -60,7 +60,7 @@ func (e *eval) inflightMicrobatches() float64 {
 //calculonvet:ordered
 func (e *eval) memory() (mem1, mem2 MemBreakdown) {
 	blockW := e.tot.WeightBytes
-	weights := blockW * units.Bytes(e.bp)
+	weights := blockW.Times(float64(e.bp))
 	mem1.Weights = weights
 	if e.st.WeightOffload {
 		resident := minBytes(weights, 3*blockW)
@@ -77,7 +77,7 @@ func (e *eval) memory() (mem1, mem2 MemBreakdown) {
 		// right behind the backward pass.
 		grads := weights
 		if e.st.OptimSharding && e.st.DPOverlap {
-			grads = minBytes(weights, units.Bytes(3*blockW)+weights/units.Bytes(e.st.DP))
+			grads = minBytes(weights, units.Bytes(3*blockW)+weights.DivN(float64(e.st.DP)))
 		}
 		mem1.WeightGrads = grads
 		if e.st.WeightOffload {
@@ -93,18 +93,18 @@ func (e *eval) memory() (mem1, mem2 MemBreakdown) {
 		// optimizer sharding is on.
 		optim := 6 * weights
 		if e.st.OptimSharding {
-			optim /= units.Bytes(e.st.DP)
+			optim = optim.DivN(float64(e.st.DP))
 		}
 		mem1.Optimizer = optim
 		if e.st.OptimOffload {
-			resident := minBytes(optim, 3*(optim/units.Bytes(e.bp)))
+			resident := minBytes(optim, 3*optim.DivN(float64(e.bp)))
 			mem1.Optimizer = resident
 			mem2.Optimizer = optim - resident
 		}
 	}
 
 	actBlock := e.actPerMBPerBlock()
-	acts := actBlock * units.Bytes(float64(e.bp)*e.inflightMicrobatches())
+	acts := actBlock.Times(float64(e.bp) * e.inflightMicrobatches())
 	mem1.Activations = acts
 	if e.st.ActOffload {
 		resident := minBytes(acts, 3*actBlock)

@@ -44,7 +44,7 @@ func (e *eval) offload() {
 		if e.st.OptimSharding {
 			params /= float64(e.st.DP)
 		}
-		bwdBytes += units.Bytes(24*params) / units.Bytes(e.n)
+		bwdBytes += units.Bytes(24 * params).DivN(float64(e.n))
 	}
 
 	// Overlap windows per block visit: compute slack where HBM is idle plus
@@ -60,9 +60,9 @@ func (e *eval) offload() {
 	xferF := fwdBytes.Div(bw2f)
 	xferB := bwdBytes.Div(bw2b)
 
-	visits := units.Seconds(float64(e.n) * float64(e.bp))
-	e.offloadTotal = visits * (xferF + xferB)
-	e.offloadExposed = visits * (maxSec(0, xferF-fwdWindow) + maxSec(0, xferB-bwdWindow))
+	visits := float64(e.n) * float64(e.bp)
+	e.offloadTotal = (xferF + xferB).Times(visits)
+	e.offloadExposed = (maxSec(0, xferF-fwdWindow) + maxSec(0, xferB-bwdWindow)).Times(visits)
 
 	req := maxBPS(fwdBytes.Per(fwdFull), bwdBytes.Per(bwdFull))
 	if o && !e.st.Inference {

@@ -31,7 +31,7 @@ func PipelineParams(m model.LLM, sys system.System, st execution.Strategy) (pipe
 
 	var hop units.Seconds
 	if st.PP > 1 {
-		hop = e.ppPerMicrobatch / units.Seconds(2*st.Interleave)
+		hop = e.ppPerMicrobatch.DivN(float64(2 * st.Interleave))
 	}
 	sched := pipesim.GPipe
 	if st.OneFOneB {
@@ -41,8 +41,8 @@ func PipelineParams(m model.LLM, sys system.System, st execution.Strategy) (pipe
 		Stages:       st.PP,
 		Chunks:       st.Interleave,
 		Microbatches: e.n,
-		FwdChunk:     units.Seconds(float64(e.bc)) * (e.blockFwd + e.fwdPenalty + e.tpFwdExposedPerBlock),
-		BwdChunk:     units.Seconds(float64(e.bc)) * (e.blockBwd + e.blockRecompute + e.bwdPenalty + e.tpBwdExposedPerBlock),
+		FwdChunk:     (e.blockFwd + e.fwdPenalty + e.tpFwdExposedPerBlock).Times(float64(e.bc)),
+		BwdChunk:     (e.blockBwd + e.blockRecompute + e.bwdPenalty + e.tpBwdExposedPerBlock).Times(float64(e.bc)),
 		Hop:          hop,
 		Schedule:     sched,
 	}, nil

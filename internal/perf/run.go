@@ -82,8 +82,8 @@ func newRunner(m model.LLM, sys system.System) *Runner {
 			Mem1:  sys.Mem1.Capacity,
 			Mem2:  sys.Mem2.Capacity,
 		}),
-		usefulTrain: units.FLOPs(float64(m.Batch)) * usefulFLOPsPerSample(m, execution.Strategy{}),
-		usefulInfer: units.FLOPs(float64(m.Batch)) * usefulFLOPsPerSample(m, execution.Strategy{Inference: true}),
+		usefulTrain: usefulFLOPsPerSample(m, execution.Strategy{}).Times(float64(m.Batch)),
+		usefulInfer: usefulFLOPsPerSample(m, execution.Strategy{Inference: true}).Times(float64(m.Batch)),
 	}
 }
 
@@ -245,7 +245,7 @@ func (r *Runner) run(st execution.Strategy) (Result, RunInfo, error) {
 		System:            sys.Name,
 		Strategy:          st,
 		BatchTime:         batch,
-		SampleRate:        float64(m.Batch) / float64(batch),
+		SampleRate:        batch.Rate(float64(m.Batch)),
 		Time:              t,
 		Mem1:              mem1,
 		Mem2:              mem2,
@@ -254,15 +254,15 @@ func (r *Runner) run(st execution.Strategy) (Result, RunInfo, error) {
 		ProcsUsed:         st.Procs(),
 	}
 	useful := r.usefulFLOPs(st)
-	peak := float64(st.Procs()) * float64(sys.Compute.MatrixPeak)
-	res.MFU = float64(useful) / (float64(batch) * peak)
+	peak := sys.Compute.MatrixPeak.Times(float64(st.Procs()))
+	res.MFU = useful.Ratio(peak.For(batch))
 	return res, info, nil
 }
 
 // usefulFLOPsPerSample is the recompute-free model FLOP count per sample
 // used for MFU (forward + backward for training, forward for inference).
 func usefulFLOPsPerSample(m model.LLM, st execution.Strategy) units.FLOPs {
-	fwd := units.FLOPs(float64(m.Seq)) * m.FwdFLOPsPerToken()
+	fwd := m.FwdFLOPsPerToken().Times(float64(m.Seq))
 	if st.Inference {
 		return fwd
 	}
@@ -560,13 +560,13 @@ func (e *eval) tensorComm() {
 
 	hide := e.st.TPOverlap.HiddenFraction()
 	// Overlap can only hide communication behind the block's compute time.
-	hiddenFwd := minSec(units.Seconds(hide)*fwd, e.blockFwd)
-	hiddenBwd := minSec(units.Seconds(hide)*bwd, e.blockBwd+e.blockRecompute)
+	hiddenFwd := minSec(fwd.Times(hide), e.blockFwd)
+	hiddenBwd := minSec(bwd.Times(hide), e.blockBwd+e.blockRecompute)
 	e.tpFwdExposedPerBlock = fwd - hiddenFwd
 	e.tpBwdExposedPerBlock = bwd - hiddenBwd
-	tax := units.Seconds(net.ProcUse / (1 - net.ProcUse))
-	e.fwdPenalty += hiddenFwd * tax
-	e.bwdPenalty += hiddenBwd * tax
+	tax := net.ProcUse / (1 - net.ProcUse)
+	e.fwdPenalty += hiddenFwd.Times(tax)
+	e.bwdPenalty += hiddenBwd.Times(tax)
 }
 
 // pipelineComm prices the point-to-point boundary traffic of pipeline
@@ -582,15 +582,15 @@ func (e *eval) pipelineComm() {
 	bytes := e.boundaryBytes
 	var reassemble units.Seconds
 	if e.st.PPRSAG && !e.st.SeqParallel && e.st.TP > 1 {
-		bytes /= units.Bytes(e.st.TP)
+		bytes = bytes.DivN(float64(e.st.TP))
 		tpNet := e.sys.NetworkPtrFor(e.st.TP)
 		reassemble = comm.Time(tpNet, comm.AllGather, e.st.TP, e.boundaryBytes)
 	}
 	hop := comm.Time(net, comm.P2P, 2, bytes) + reassemble
 	// Each microbatch crosses v chunk boundaries forward and v backward.
-	perMB := units.Seconds(2*e.st.Interleave) * hop
+	perMB := hop.Times(float64(2 * e.st.Interleave))
 	if e.st.Inference {
-		perMB = units.Seconds(e.st.Interleave) * hop
+		perMB = hop.Times(float64(e.st.Interleave))
 	}
 	e.ppPerMicrobatch = perMB
 	e.ppExposedPerMicrobatch = perMB
@@ -605,7 +605,7 @@ func (e *eval) dataComm() {
 		return
 	}
 	net := e.sys.NetworkPtrFor(e.st.TP * e.st.PP * d)
-	grads := e.tot.WeightBytes * units.Bytes(e.bp)
+	grads := e.tot.WeightBytes.Times(float64(e.bp))
 
 	var overlappable, gather units.Seconds
 	if e.st.OptimSharding {
@@ -620,22 +620,22 @@ func (e *eval) dataComm() {
 	e.dpTotal = overlappable + gather
 
 	hidden := units.Seconds(0)
-	tax := units.Seconds(net.ProcUse / (1 - net.ProcUse))
+	tax := net.ProcUse / (1 - net.ProcUse)
 	if e.st.DPOverlap && e.bp > 1 {
 		// Per-block gradients become final as the last microbatch's
 		// backward drains through this processor's blocks; the drain window
 		// is the backward (plus recompute) of the remaining blocks.
-		window := units.Seconds(float64(e.bp-1)) * (e.blockBwd + e.blockRecompute)
-		frac := units.Seconds(float64(e.bp-1) / float64(e.bp))
-		hidden = minSec(overlappable*frac, window)
+		window := (e.blockBwd + e.blockRecompute).Times(float64(e.bp - 1))
+		frac := float64(e.bp-1) / float64(e.bp)
+		hidden = minSec(overlappable.Times(frac), window)
 		if gather > 0 {
 			// The updated-parameter all-gather streams per block ahead of
 			// the next forward pass (ZeRO-style prefetch), bounded by the
 			// forward time of the blocks not yet reached.
-			fwdWindow := units.Seconds(float64(e.n)*float64(e.bp-1)) * e.blockFwd
-			hidden += minSec(gather*frac, fwdWindow)
+			fwdWindow := e.blockFwd.Times(float64(e.n) * float64(e.bp-1))
+			hidden += minSec(gather.Times(frac), fwdWindow)
 		}
-		e.dpPenalty = hidden * tax
+		e.dpPenalty = hidden.Times(tax)
 	}
 	e.dpExposed = e.dpTotal - hidden
 }
@@ -669,16 +669,16 @@ func (e *eval) optimizer() {
 // assemble composes the per-batch breakdown from the per-block quantities.
 func (e *eval) assemble() TimeBreakdown {
 	var t TimeBreakdown
-	nb := units.Seconds(float64(e.n) * float64(e.bp))
-	t.FwdPass = nb*e.blockFwd + units.Seconds(float64(e.n)*float64(e.bp))*e.fwdPenalty
-	t.Recompute = nb * e.blockRecompute
+	nb := float64(e.n) * float64(e.bp)
+	t.FwdPass = e.blockFwd.Times(nb) + e.fwdPenalty.Times(nb)
+	t.Recompute = e.blockRecompute.Times(nb)
 	if !e.st.Inference {
-		t.BwdPass = nb*e.blockBwd + units.Seconds(float64(e.n)*float64(e.bp))*e.bwdPenalty + e.dpPenalty
+		t.BwdPass = e.blockBwd.Times(nb) + e.bwdPenalty.Times(nb) + e.dpPenalty
 	}
-	t.TPComm = nb * (e.tpFwdPerBlock + e.tpBwdPerBlock)
-	t.TPExposed = nb * (e.tpFwdExposedPerBlock + e.tpBwdExposedPerBlock)
-	t.PPComm = units.Seconds(float64(e.n)) * e.ppPerMicrobatch
-	t.PPExposed = units.Seconds(float64(e.n)) * e.ppExposedPerMicrobatch
+	t.TPComm = (e.tpFwdPerBlock + e.tpBwdPerBlock).Times(nb)
+	t.TPExposed = (e.tpFwdExposedPerBlock + e.tpBwdExposedPerBlock).Times(nb)
+	t.PPComm = e.ppPerMicrobatch.Times(float64(e.n))
+	t.PPExposed = e.ppExposedPerMicrobatch.Times(float64(e.n))
 	t.DPComm = e.dpTotal
 	t.DPExposed = e.dpExposed
 	t.OptimStep = e.optimTime
@@ -688,13 +688,13 @@ func (e *eval) assemble() TimeBreakdown {
 	if p := e.st.PP; p > 1 {
 		// Interleaved 1F1B bubble: (p−1) chunk slots at the head and tail of
 		// the pipeline (Fig. 2); a chunk is bc blocks plus its boundary hop.
-		hop := e.ppPerMicrobatch / units.Seconds(2*e.st.Interleave)
-		chunkFwd := units.Seconds(float64(e.bc))*(e.blockFwd+e.fwdPenalty+e.tpFwdExposedPerBlock) + hop
-		chunkBwd := units.Seconds(float64(e.bc))*(e.blockBwd+e.blockRecompute+e.bwdPenalty+e.tpBwdExposedPerBlock) + hop
+		hop := e.ppPerMicrobatch.DivN(float64(2 * e.st.Interleave))
+		chunkFwd := (e.blockFwd + e.fwdPenalty + e.tpFwdExposedPerBlock).Times(float64(e.bc)) + hop
+		chunkBwd := (e.blockBwd + e.blockRecompute + e.bwdPenalty + e.tpBwdExposedPerBlock).Times(float64(e.bc)) + hop
 		if e.st.Inference {
 			chunkBwd = 0
 		}
-		t.PPBubble = units.Seconds(float64(p-1)) * (chunkFwd + chunkBwd)
+		t.PPBubble = (chunkFwd + chunkBwd).Times(float64(p - 1))
 	}
 	return t
 }

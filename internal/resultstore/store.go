@@ -103,7 +103,7 @@ func Open(path string) (*Store, error) {
 	}
 	if err := s.load(); err != nil {
 		// Close cannot mask the load error: the file was only read.
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return s, nil

@@ -190,7 +190,7 @@ func compose(spec *Spec, cfgs []engineConfig, profiles []engineProfile, pbar, gb
 
 	// One prompt's full-model KV cache crosses the scale-out network from
 	// the prefill pool to a decode replica (disaggregated mode).
-	kvShip := units.Bytes(2*pbar*spec.Model.Hidden*2) * units.Bytes(spec.Model.Blocks)
+	kvShip := units.Bytes(2 * pbar * spec.Model.Hidden * 2).Times(float64(spec.Model.Blocks))
 	so := spec.System.ScaleOut()
 	kvT := comm.Time(&so, comm.P2P, 2, kvShip)
 
@@ -213,11 +213,11 @@ func compose(spec *Spec, cfgs []engineConfig, profiles []engineProfile, pbar, gb
 		// sequences every ḡ steps and owes their prefill work in return;
 		// chunked across the window, each decode step (on each stage)
 		// carries 1/(ḡ·PP) of a full-batch prefill.
-		tpot := p.est.StepTime + p.est.PrefillTime/units.Seconds(gbar)
+		tpot := p.est.StepTime + p.est.PrefillTime.DivN(float64(gbar))
 		ttft := maxSec(p.prefill1) + tpot
 		perStage := units.Seconds(float64(cfg.batch) / p.est.TokensPerSec)
-		interf := p.est.PrefillTime / units.Seconds(gbar*cfg.pp)
-		perReplica := float64(cfg.batch) / float64(perStage+interf)
+		interf := p.est.PrefillTime.DivN(float64(gbar * cfg.pp))
+		perReplica := (perStage + interf).Rate(float64(cfg.batch))
 		for r := 1; r <= maxR; r++ {
 			seq++
 			if tpot > slo.TPOT || ttft > slo.TTFT {
@@ -230,7 +230,7 @@ func compose(spec *Spec, cfgs []engineConfig, profiles []engineProfile, pbar, gb
 				Seq: seq, TP: cfg.tp, PP: cfg.pp, Batch: cfg.batch, KVOffload: cfg.kvOffload,
 				Replicas: r, Procs: procs,
 				TTFT: ttft, TPOT: tpot,
-				UserTokensPerSec:     1 / float64(tpot),
+				UserTokensPerSec:     tpot.Rate(1),
 				ClusterTokensPerSec:  cluster,
 				CostPerMToken:        costPerMToken(procs, cluster, hourly),
 				DecodeBandwidthBound: p.est.DecodeBandwidthBound,
@@ -251,7 +251,7 @@ func compose(spec *Spec, cfgs []engineConfig, profiles []engineProfile, pbar, gb
 		// prefill replica completes one mean prompt per prefillPMean.
 		reqRate := tputD / float64(gbar)
 		for rd := 1; rd <= maxR; rd++ {
-			rp := int(math.Ceil(float64(rd) * reqRate * float64(p.prefillPMean)))
+			rp := int(math.Ceil(p.prefillPMean.AtRate(float64(rd) * reqRate)))
 			if rp < 1 {
 				rp = 1
 			}
@@ -272,7 +272,7 @@ func compose(spec *Spec, cfgs []engineConfig, profiles []engineProfile, pbar, gb
 				Seq: seq, TP: cfg.tp, PP: cfg.pp, Batch: cfg.batch, KVOffload: cfg.kvOffload,
 				Disaggregated: true, Replicas: rd, PrefillReplicas: rp, Procs: procs,
 				TTFT: ttftD, TPOT: tpotD, KVTransferTime: kvT,
-				UserTokensPerSec:     1 / float64(tpotD),
+				UserTokensPerSec:     tpotD.Rate(1),
 				ClusterTokensPerSec:  cluster,
 				CostPerMToken:        costPerMToken(procs, cluster, hourly),
 				DecodeBandwidthBound: p.est.DecodeBandwidthBound,

@@ -96,10 +96,15 @@ func (w Workload) MeanGenLen() int {
 	return weightedCeil(w.Mix, func(b Bucket) int { return b.GenLen })
 }
 
+// weightedCeil folds the traffic mix in slice order; the explicit
+// conversion keeps the weighted term FMA-free so the mean workload is the
+// same on every architecture.
+//
+//calculonvet:ordered
 func weightedCeil(mix []Bucket, f func(Bucket) int) int {
 	var sum, wsum float64
 	for _, b := range mix {
-		sum += float64(f(b)) * b.Weight
+		sum += float64(float64(f(b)) * b.Weight)
 		wsum += b.Weight
 	}
 	if wsum <= 0 {

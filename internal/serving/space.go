@@ -128,14 +128,14 @@ func newPreScreen(spec *Spec, ctx int) *preScreen {
 func (p *preScreen) check(cfg engineConfig) error {
 	bp := (p.m.Blocks + cfg.pp - 1) / cfg.pp
 	blockW := layers.BlockWeightBytes(p.m, cfg.tp)
-	weights := blockW * units.Bytes(bp)
+	weights := blockW.Times(float64(bp))
 	// Identical expression (and rounding) to inference.Estimate's kvPerBlock.
 	kvPerBlock := units.Bytes(2*p.ctx*p.m.Hidden*2) / units.Bytes(cfg.tp) * units.Bytes(cfg.batch)
 	if cfg.kvOffload {
 		if !p.hasMem2 {
 			return &screenError{kind: screenNoMem2}
 		}
-		kvAll := kvPerBlock * units.Bytes(bp)
+		kvAll := kvPerBlock.Times(float64(bp))
 		if kvAll > p.mem2 {
 			return &screenError{kind: screenMem2, need: int64(kvAll), have: int64(p.mem2)}
 		}
@@ -146,7 +146,7 @@ func (p *preScreen) check(cfg engineConfig) error {
 		}
 		return nil
 	}
-	kv := kvPerBlock * units.Bytes(bp)
+	kv := kvPerBlock.Times(float64(bp))
 	need := kv + weights
 	if need > p.mem1 {
 		return &screenError{kind: screenMem1, need: int64(need), have: int64(p.mem1)}

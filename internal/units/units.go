@@ -102,6 +102,67 @@ func (b Bytes) Per(t Seconds) BytesPerSec {
 	return BytesPerSec(float64(b) / float64(t))
 }
 
+// --- dimension-preserving arithmetic helpers -----------------------------
+//
+// These helpers are the sanctioned way to combine quantities with
+// dimensionless factors and with each other; calculonvet's dimcheck
+// analyzer rejects the raw-cast spellings (`bytes / Bytes(n)`,
+// `Seconds(n) * t`) that they replace. Every helper is a single plain
+// float64 operation — bit-identical to the expression it stands in for —
+// and, unlike Div/Per above, carries no zero/unbounded feasibility
+// conventions. NaN and Inf propagate exactly as IEEE 754 dictates.
+
+// Times returns b scaled by a dimensionless factor.
+func (b Bytes) Times(n float64) Bytes { return Bytes(float64(b) * n) }
+
+// Times returns f scaled by a dimensionless factor.
+func (f FLOPs) Times(n float64) FLOPs { return FLOPs(float64(f) * n) }
+
+// Times returns t scaled by a dimensionless factor.
+func (t Seconds) Times(n float64) Seconds { return Seconds(float64(t) * n) }
+
+// Times returns bw scaled by a dimensionless factor.
+func (bw BytesPerSec) Times(n float64) BytesPerSec { return BytesPerSec(float64(bw) * n) }
+
+// Times returns r scaled by a dimensionless factor.
+func (r FLOPsPerSec) Times(n float64) FLOPsPerSec { return FLOPsPerSec(float64(r) * n) }
+
+// DivN divides b by a dimensionless count.
+func (b Bytes) DivN(n float64) Bytes { return Bytes(float64(b) / n) }
+
+// DivN divides f by a dimensionless count.
+func (f FLOPs) DivN(n float64) FLOPs { return FLOPs(float64(f) / n) }
+
+// DivN divides t by a dimensionless count.
+func (t Seconds) DivN(n float64) Seconds { return Seconds(float64(t) / n) }
+
+// Over returns the raw transfer time b/bw. Unlike Div it applies no
+// zero/unbounded conventions: a zero bandwidth yields IEEE ±Inf or NaN.
+func (b Bytes) Over(bw BytesPerSec) Seconds { return Seconds(float64(b) / float64(bw)) }
+
+// At returns the raw execution time f/r. Unlike Div it applies no
+// zero/unbounded conventions: a zero rate yields IEEE ±Inf or NaN.
+func (f FLOPs) At(r FLOPsPerSec) Seconds { return Seconds(float64(f) / float64(r)) }
+
+// For returns the work done in t at rate r.
+func (r FLOPsPerSec) For(t Seconds) FLOPs { return FLOPs(float64(r) * float64(t)) }
+
+// Ratio returns the dimensionless quotient b/c of like quantities.
+func (b Bytes) Ratio(c Bytes) float64 { return float64(b) / float64(c) }
+
+// Ratio returns the dimensionless quotient f/g of like quantities.
+func (f FLOPs) Ratio(g FLOPs) float64 { return float64(f) / float64(g) }
+
+// Ratio returns the dimensionless quotient t/u of like quantities.
+func (t Seconds) Ratio(u Seconds) float64 { return float64(t) / float64(u) }
+
+// Rate returns n events per t: the per-second rate n/t.
+func (t Seconds) Rate(n float64) float64 { return n / float64(t) }
+
+// AtRate returns the dimensionless count accumulated over t at perSec
+// events per second: perSec * t.
+func (t Seconds) AtRate(perSec float64) float64 { return perSec * float64(t) }
+
 func formatScaled(v float64, unit string, steps []struct {
 	f float64
 	p string
